@@ -1,0 +1,73 @@
+"""Ablation: the overprediction cut-off (Section 3.3.3 / 5.2).
+
+The paper: without the cut-off, Ocean degrades by as much as 12% over
+Baseline; the 10% threshold contains the loss within 3.5%. We run Ocean
+under Thrifty with the cut-off at its default, disabled, and tightened,
+and print the resulting energy/time pairs.
+"""
+
+from repro.experiments import report
+from repro.experiments.metrics import normalized_total, slowdown
+from repro.experiments.runner import run_app, run_experiment
+
+from conftest import PAPER_SEED, PAPER_THREADS, once
+
+
+def test_ablation_overprediction_cutoff(benchmark):
+    def sweep():
+        baseline = run_app(
+            "ocean", threads=PAPER_THREADS, seed=PAPER_SEED,
+            configs=("baseline",),
+        )["baseline"]
+        variants = {
+            "cutoff 10% (paper)": run_experiment(
+                "ocean", "thrifty",
+                threads=PAPER_THREADS, seed=PAPER_SEED,
+            ),
+            "cutoff disabled": run_experiment(
+                "ocean", "thrifty",
+                threads=PAPER_THREADS, seed=PAPER_SEED,
+                overprediction_threshold=1e12,
+            ),
+            "cutoff 5% (tight)": run_experiment(
+                "ocean", "thrifty",
+                threads=PAPER_THREADS, seed=PAPER_SEED,
+                overprediction_threshold=0.05,
+            ),
+        }
+        return baseline, variants
+
+    baseline, variants = once(benchmark, sweep)
+    rows = []
+    for tag, result in variants.items():
+        rows.append(
+            (
+                tag,
+                "{:.1f}".format(normalized_total(result, baseline)),
+                "{:.2f}%".format(100 * slowdown(result, baseline)),
+                result.thrifty_stats.get("cutoff_disables", 0),
+            )
+        )
+    print()
+    print(
+        report.render_table(
+            ("Variant", "Energy (% of B)", "Slowdown", "Disables"),
+            rows,
+            title="Ablation: Ocean under Thrifty vs. cut-off policy",
+        )
+    )
+    default = variants["cutoff 10% (paper)"]
+    disabled = variants["cutoff disabled"]
+    # The cut-off engages...
+    assert default.thrifty_stats["cutoff_disables"] > 0
+    assert disabled.thrifty_stats["cutoff_disables"] == 0
+    # ... and contains a real degradation (paper: 12% -> 3.5%).
+    assert slowdown(disabled, baseline) > 0.015
+    assert slowdown(default, baseline) < 0.015
+    assert slowdown(default, baseline) < slowdown(disabled, baseline)
+    benchmark.extra_info["no_cutoff_slowdown_pct"] = round(
+        100 * slowdown(disabled, baseline), 2
+    )
+    benchmark.extra_info["cutoff_slowdown_pct"] = round(
+        100 * slowdown(default, baseline), 2
+    )

@@ -1,0 +1,75 @@
+"""Ablation: the sleep-state menu (Section 5.1's multi-state argument).
+
+Runs Volrend (large, stable intervals) and Radix (moderate intervals)
+under Thrifty with each state alone and with the full Table 3 menu.
+The paper's point: exploiting multiple/deeper states is what separates
+Thrifty from Thrifty-Halt.
+"""
+
+from repro.config import SLEEP1_HALT, SLEEP2, SLEEP3
+from repro.experiments import report
+from repro.experiments.metrics import normalized_total, slowdown
+from repro.experiments.runner import run_app, run_experiment
+
+from conftest import PAPER_SEED, PAPER_THREADS, once
+
+MENUS = {
+    "halt only": (SLEEP1_HALT,),
+    "sleep2 only": (SLEEP2,),
+    "sleep3 only": (SLEEP3,),
+    "full menu (paper)": (SLEEP1_HALT, SLEEP2, SLEEP3),
+}
+
+
+def test_ablation_sleep_states(benchmark):
+    def sweep():
+        out = {}
+        for app in ("volrend", "radix"):
+            baseline = run_app(
+                app, threads=PAPER_THREADS, seed=PAPER_SEED,
+                configs=("baseline",),
+            )["baseline"]
+            out[app] = (baseline, {
+                tag: run_experiment(
+                    app, "thrifty",
+                    threads=PAPER_THREADS, seed=PAPER_SEED,
+                    sleep_states=menu,
+                )
+                for tag, menu in MENUS.items()
+            })
+        return out
+
+    results = once(benchmark, sweep)
+    rows = []
+    energies = {}
+    for app, (baseline, variants) in results.items():
+        for tag, result in variants.items():
+            energy = normalized_total(result, baseline)
+            energies[(app, tag)] = energy
+            rows.append(
+                (
+                    app, tag, "{:.1f}".format(energy),
+                    "{:.2f}%".format(100 * slowdown(result, baseline)),
+                )
+            )
+    print()
+    print(
+        report.render_table(
+            ("App", "Menu", "Energy (% of B)", "Slowdown"),
+            rows,
+            title="Ablation: sleep-state menu under Thrifty",
+        )
+    )
+    for app in ("volrend", "radix"):
+        # Deeper beats shallower on these interval lengths...
+        assert energies[(app, "sleep3 only")] < energies[(app, "halt only")]
+        # ... and the full menu is at least as good as any single state
+        # (it can always fall back to the same choice).
+        best_single = min(
+            energies[(app, tag)]
+            for tag in ("halt only", "sleep2 only", "sleep3 only")
+        )
+        assert energies[(app, "full menu (paper)")] <= best_single + 0.5
+        benchmark.extra_info[app] = round(
+            energies[(app, "full menu (paper)")], 1
+        )

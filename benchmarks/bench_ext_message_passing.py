@@ -1,0 +1,88 @@
+"""Extension: the thrifty barrier on message passing (Section 7).
+
+The same straggler workload under a spin-receiving flat barrier and the
+thrifty MP barrier (piggybacked-BIT prediction, NIC-interrupt wake-up).
+"""
+
+from repro.config import MachineConfig
+from repro.energy.accounting import Category
+from repro.experiments import report
+from repro.machine import System
+from repro.mp import MpBarrier, ThriftyMpBarrier, make_endpoints
+
+from conftest import once
+
+N_RANKS = 16
+ROUNDS = 10
+STRAGGLER_NS = 1_200_000
+FAST_NS = 150_000
+
+
+def _run(barrier_class):
+    system = System(MachineConfig(n_nodes=N_RANKS))
+    endpoints = make_endpoints(system)
+    barrier = barrier_class(system, endpoints)
+
+    for rank in range(N_RANKS):
+        def program(rank=rank):
+            node = system.nodes[rank]
+            for _ in range(ROUNDS):
+                duration = (
+                    STRAGGLER_NS if rank == N_RANKS - 1 else FAST_NS
+                )
+                yield from node.cpu.compute(duration)
+                yield from barrier.wait(rank)
+
+        system.sim.spawn(program())
+    system.run()
+    return system, barrier
+
+
+def test_ext_message_passing(benchmark):
+    def sweep():
+        return {
+            "spin-recv": _run(MpBarrier),
+            "thrifty-mp": _run(ThriftyMpBarrier),
+        }
+
+    results = once(benchmark, sweep)
+    rows = []
+    for tag, (system, _barrier) in results.items():
+        total = system.total_account()
+        rows.append(
+            (
+                tag,
+                "{:.4f}".format(total.energy_joules()),
+                "{:.3f} ms".format(system.execution_time_ns / 1e6),
+                "{:.1f}%".format(
+                    100 * total.time_ns(Category.SLEEP) / total.time_ns()
+                ),
+            )
+        )
+    print()
+    print(
+        report.render_table(
+            ("Barrier", "Energy (J)", "Exec time", "Sleep share"),
+            rows,
+            title=(
+                "Extension: thrifty barrier on message passing "
+                "({} ranks, 1 straggler)".format(N_RANKS)
+            ),
+        )
+    )
+    spin_system, _ = results["spin-recv"]
+    thrifty_system, thrifty_barrier = results["thrifty-mp"]
+    assert thrifty_barrier.stats.sleeps > 0
+    assert (
+        thrifty_system.total_account().energy_joules()
+        < 0.92 * spin_system.total_account().energy_joules()
+    )
+    assert (
+        thrifty_system.execution_time_ns
+        < 1.05 * spin_system.execution_time_ns
+    )
+    benchmark.extra_info["energy_ratio"] = round(
+        thrifty_system.total_account().energy_joules()
+        / spin_system.total_account().energy_joules(),
+        3,
+    )

@@ -1,0 +1,78 @@
+"""Extension: the thrifty lock (paper Section 7 future work).
+
+A lock-contention microworkload — long critical sections, every thread
+queued — compared under the plain queued spinlock and the thrifty lock.
+"""
+
+from repro.energy.accounting import Category
+from repro.experiments import report
+from repro.machine import System
+from repro.config import MachineConfig
+from repro.sync import SpinLock, ThriftyLock
+
+from conftest import once
+
+N_NODES = 16
+HOLD_NS = 500_000
+ROUNDS = 4
+
+
+def _run(lock_class):
+    system = System(MachineConfig(n_nodes=N_NODES))
+    lock = lock_class(system)
+
+    def program(node):
+        for _ in range(ROUNDS):
+            yield from lock.acquire(node)
+            yield from node.cpu.compute(HOLD_NS)
+            yield from lock.release(node)
+
+    system.run_threads(program)
+    return system, lock
+
+
+def test_ext_thrifty_lock(benchmark):
+    def sweep():
+        return {"spinlock": _run(SpinLock), "thrifty": _run(ThriftyLock)}
+
+    results = once(benchmark, sweep)
+    rows = []
+    for tag, (system, lock) in results.items():
+        total = system.total_account()
+        rows.append(
+            (
+                tag,
+                "{:.3f}".format(total.energy_joules()),
+                "{:.2f} ms".format(system.execution_time_ns / 1e6),
+                "{:.1f}%".format(
+                    100 * total.time_ns(Category.SLEEP) / total.time_ns()
+                ),
+            )
+        )
+    print()
+    print(
+        report.render_table(
+            ("Lock", "Energy (J)", "Exec time", "Sleep share"),
+            rows,
+            title=(
+                "Extension: thrifty lock vs. spinlock "
+                "({} threads, {} us holds)".format(N_NODES, HOLD_NS // 1000)
+            ),
+        )
+    )
+    spin_system, _ = results["spinlock"]
+    thrifty_system, thrifty_lock = results["thrifty"]
+    spin_joules = spin_system.total_account().energy_joules()
+    thrifty_joules = thrifty_system.total_account().energy_joules()
+    # Waiting in a sleep state saves serious energy under heavy
+    # contention...
+    assert thrifty_joules < 0.85 * spin_joules
+    assert thrifty_lock.stats.sleeps > 0
+    # ... with a bounded throughput cost.
+    assert (
+        thrifty_system.execution_time_ns
+        < 1.08 * spin_system.execution_time_ns
+    )
+    benchmark.extra_info["energy_ratio"] = round(
+        thrifty_joules / spin_joules, 3
+    )

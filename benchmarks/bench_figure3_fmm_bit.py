@@ -1,0 +1,56 @@
+"""Figure 3: BIT/BST variability of FMM's three main-loop barriers.
+
+Regenerates the twelve bars (3 barriers x 4 consecutive iterations,
+one observing thread, normalized to the mean BIT) and checks the
+paper's qualitative claims: per-barrier BIT is far more stable than BST
+or cross-barrier BIT.
+"""
+
+import statistics
+
+import pytest
+
+from repro.experiments import figures, report
+
+from conftest import PAPER_SEED, PAPER_THREADS, once
+
+
+def test_figure3_fmm_bit(benchmark):
+    rows = once(
+        benchmark,
+        lambda: figures.figure3_rows(
+            threads=PAPER_THREADS, seed=PAPER_SEED
+        ),
+    )
+    print()
+    print(report.render_figure3(rows))
+    assert len(rows) == 12
+    by_barrier = {}
+    for row in rows:
+        by_barrier.setdefault(row.barrier_index, []).append(row)
+    # Normalization: the mean BIT over the whole run is 1.0, so the
+    # twelve sampled bars should straddle it.
+    bits = [row.bit_norm for row in rows]
+    assert min(bits) < 1.0 < max(bits)
+    # Same-barrier BIT is stable across iterations (the basis of
+    # PC-indexed prediction)...
+    for barrier, barrier_rows in by_barrier.items():
+        values = [row.bit_norm for row in barrier_rows]
+        spread = (max(values) - min(values)) / statistics.mean(values)
+        assert spread < 0.15, "barrier {} BIT unstable".format(barrier)
+        benchmark.extra_info[
+            "bit_b{}".format(barrier)
+        ] = round(statistics.mean(values), 2)
+    # ... while BIT differs strongly across barriers,
+    means = {
+        barrier: statistics.mean(row.bit_norm for row in barrier_rows)
+        for barrier, barrier_rows in by_barrier.items()
+    }
+    assert max(means.values()) > 1.5 * min(means.values())
+    # ... and BST remains thread/instance dependent (nonzero, variable).
+    bsts = [row.bst_norm for row in rows]
+    assert max(bsts) > 0
+    for row in rows:
+        assert row.compute_norm + row.bst_norm == pytest.approx(
+            row.bit_norm
+        )

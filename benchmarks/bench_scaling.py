@@ -1,0 +1,90 @@
+"""Scaling sweeps (beyond the paper's single 64-processor point).
+
+Two questions a user adopting the thrifty barrier asks:
+
+* does the benefit grow with machine size? (straggler imbalance grows
+  with P, so it should);
+* how sensitive is it to sleep-transition latency? (future processors
+  with faster deep states widen the win).
+"""
+
+from repro.experiments import report
+from repro.experiments.sweeps import latency_scaling, thread_scaling
+
+from conftest import PAPER_SEED, once
+
+APP = "fmm"
+
+
+def test_thread_scaling(benchmark):
+    points = once(
+        benchmark,
+        lambda: thread_scaling(APP, thread_counts=(8, 16, 32, 64),
+                               seed=PAPER_SEED),
+    )
+    rows = [
+        (
+            point.threads,
+            "{:.1f}%".format(100 * point.imbalance),
+            "{:.1f}%".format(100 * point.thrifty_energy_savings),
+            "{:.2f}%".format(100 * point.thrifty_slowdown),
+            "{:.1f}%".format(100 * point.ideal_energy_savings),
+        )
+        for point in points
+    ]
+    print()
+    print(
+        report.render_table(
+            ("Threads", "Imbalance", "Thrifty savings", "Slowdown",
+             "Ideal savings"),
+            rows,
+            title="Thread scaling on {} (one row per machine size)".format(
+                APP
+            ),
+        )
+    )
+    # Imbalance (and hence the opportunity) grows with P for the
+    # rotating-straggler model; savings follow.
+    assert points[-1].imbalance > points[0].imbalance
+    assert points[-1].thrifty_energy_savings > (
+        points[0].thrifty_energy_savings
+    )
+    for point in points:
+        assert point.thrifty_slowdown < 0.05
+    benchmark.extra_info["savings_at_64"] = round(
+        100 * points[-1].thrifty_energy_savings, 1
+    )
+
+
+def test_transition_latency_scaling(benchmark):
+    rows_raw = once(
+        benchmark,
+        lambda: latency_scaling(APP, factors=(0.25, 0.5, 1.0, 2.0),
+                                seed=PAPER_SEED),
+    )
+    rows = [
+        (
+            "{:.2f}x".format(factor),
+            "{:.1f}%".format(100 * savings),
+            "{:.2f}%".format(100 * slow),
+        )
+        for factor, savings, slow in rows_raw
+    ]
+    print()
+    print(
+        report.render_table(
+            ("Latency scale", "Thrifty savings", "Slowdown"),
+            rows,
+            title=(
+                "Sleep-transition latency sensitivity on {} "
+                "(1.00x = Table 3)".format(APP)
+            ),
+        )
+    )
+    savings = {factor: s for factor, s, _slow in rows_raw}
+    # Faster transitions can only help: more stalls clear the
+    # conditional-sleep bar and less time burns in ramps.
+    assert savings[0.25] >= savings[1.0] - 0.005
+    assert savings[1.0] >= savings[2.0] - 0.005
+    benchmark.extra_info["savings_fast"] = round(100 * savings[0.25], 1)
+    benchmark.extra_info["savings_slow"] = round(100 * savings[2.0], 1)

@@ -1,0 +1,23 @@
+"""Table 1: the architecture modeled.
+
+Echoes the configuration and validates it with probe transactions: the
+measured L1/L2 round trips, memory access, and network latencies must
+equal the published parameters.
+"""
+
+from repro.experiments import report, tables
+
+from conftest import once
+
+
+def test_table1_architecture(benchmark):
+    rows, validation = once(benchmark, tables.table1_rows)
+    print()
+    print(report.render_table1(rows, validation))
+    assert validation.l1_round_trip_ns == 2
+    assert validation.l2_round_trip_ns == 14
+    assert validation.memory_access_ns == 76
+    assert validation.network_one_hop_ns == 48
+    assert validation.network_diameter_ns == 128
+    benchmark.extra_info["l1_rt_ns"] = validation.l1_round_trip_ns
+    benchmark.extra_info["l2_rt_ns"] = validation.l2_round_trip_ns

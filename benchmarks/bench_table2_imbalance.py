@@ -1,0 +1,30 @@
+"""Table 2: barrier imbalance of the ten applications.
+
+Runs the Baseline configuration for every application on the 64-node
+machine and compares the measured imbalance against the paper's
+figures. The paper-vs-measured rows are printed.
+"""
+
+import pytest
+
+from repro.experiments import report, tables
+from repro.workloads.splash2 import TABLE2_IMBALANCE
+
+from conftest import PAPER_SEED, PAPER_THREADS, once
+
+
+def test_table2_imbalance(benchmark):
+    rows = once(
+        benchmark,
+        lambda: tables.table2_rows(threads=PAPER_THREADS, seed=PAPER_SEED),
+    )
+    print()
+    print(report.render_table2(rows))
+    for app, _size, paper_pct, measured_pct in rows:
+        assert measured_pct == pytest.approx(paper_pct, rel=0.15), app
+        benchmark.extra_info[app] = round(measured_pct, 2)
+    # Table 2 order: descending imbalance, preserved by the measurement
+    # up to the five-target / five-non-target split.
+    targets = [row for row in rows if TABLE2_IMBALANCE[row[0]] >= 0.10]
+    others = [row for row in rows if TABLE2_IMBALANCE[row[0]] < 0.10]
+    assert min(row[3] for row in targets) > max(row[3] for row in others)

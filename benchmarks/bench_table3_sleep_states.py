@@ -1,0 +1,25 @@
+"""Table 3: the low-power sleep states.
+
+Runs the TDPmax microbenchmark (Section 4.3) and derives the absolute
+residency power of each state from the paper's TDPmax-relative ratios.
+"""
+
+import pytest
+
+from repro.experiments import report, tables
+
+from conftest import once
+
+
+def test_table3_sleep_states(benchmark):
+    rows, tdp = once(benchmark, tables.table3_rows)
+    print()
+    print(report.render_table3(rows, tdp))
+    assert [row[1] for row in rows] == pytest.approx([70.2, 79.2, 97.8])
+    assert [row[2] for row in rows] == pytest.approx([10.0, 15.0, 35.0])
+    assert [row[3] for row in rows] == ["Yes", "No", "No"]
+    assert [row[4] for row in rows] == ["No", "No", "Yes"]
+    # Deeper states draw less while resident.
+    watts = [row[5] for row in rows]
+    assert watts[0] > watts[1] > watts[2] > 0
+    benchmark.extra_info["tdp_max_watts"] = round(tdp, 1)

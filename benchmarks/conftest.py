@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+The full five-configuration, ten-application matrix at the paper's
+64-processor scale is expensive (tens of seconds), so it is computed
+once per session and shared by the Figure 5, Figure 6, and headline
+benchmarks.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_matrix
+
+PAPER_THREADS = 64
+PAPER_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def matrix64():
+    return run_matrix(threads=PAPER_THREADS, seed=PAPER_SEED)
+
+
+def once(benchmark, fn):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Real algorithms on the simulated machine.
+
+The SPLASH-2 models in the benchmark harness are calibrated arrival
+processes; this example instead runs *actual algorithms* — a radix
+sort, an FFT, a grid relaxation, an n-body integration — records every
+thread's work per phase, and replays the resulting trace on the
+simulator under the conventional and thrifty barriers. Imbalance (and
+hence savings) emerges from the data: a skewed key distribution,
+clustered particles, data-dependent convergence.
+
+Run with::
+
+    python examples/kernel_workloads.py
+"""
+
+from repro.config import MachineConfig
+from repro.experiments.configs import barrier_factory_for
+from repro.machine import System
+from repro.workloads import WorkloadRunner
+from repro.workloads.kernels import (
+    fft_workload,
+    nbody_workload,
+    ocean_workload,
+    radix_workload,
+)
+
+N_THREADS = 16
+
+
+def build_workloads():
+    radix, sorted_keys = radix_workload(
+        n_keys=1 << 14, radix=1 << 8, n_threads=N_THREADS, skew=0.4
+    )
+    assert (sorted_keys[:-1] <= sorted_keys[1:]).all()
+    fft, _spectrum = fft_workload(n_points=1 << 12, n_threads=N_THREADS)
+    ocean, residuals = ocean_workload(
+        grid_size=66, n_threads=N_THREADS, tolerance=2e-3
+    )
+    nbody, _energies = nbody_workload(
+        n_bodies=512, n_steps=8, n_threads=N_THREADS
+    )
+    print(
+        "ocean solver converged in {} sweeps (data-dependent barrier "
+        "count)".format(len(residuals))
+    )
+    return [radix, fft, ocean, nbody]
+
+
+def run(workload, config_name):
+    system = System(MachineConfig(n_nodes=N_THREADS))
+    runner = WorkloadRunner(
+        workload, system=system, seed=0,
+        barrier_factory=barrier_factory_for(config_name),
+    )
+    return runner.run()
+
+
+def main():
+    workloads = build_workloads()
+    print()
+    print(
+        "{:14s} {:>10s} {:>12s} {:>12s} {:>9s}".format(
+            "kernel", "barriers", "baseline J", "thrifty J", "saved"
+        )
+    )
+    print("-" * 62)
+    for workload in workloads:
+        baseline = run(workload, "baseline")
+        thrifty = run(workload, "thrifty")
+        saved = 1 - thrifty.energy_joules / baseline.energy_joules
+        print(
+            "{:14s} {:>10d} {:>12.4f} {:>12.4f} {:>8.1f}%".format(
+                workload.name,
+                workload.dynamic_instances,
+                baseline.energy_joules,
+                thrifty.energy_joules,
+                100 * saved,
+            )
+        )
+    print(
+        "\nNote: the FFT kernel's barriers are all one-shot, so the\n"
+        "PC-indexed predictor stays cold and thrifty == baseline — the\n"
+        "same effect the paper reports for FFT and Cholesky."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: thrifty vs. conventional barrier on a small machine.
+
+Builds an 8-node CC-NUMA system, runs a simple imbalanced barrier loop
+under the conventional (Baseline) and the thrifty barrier, and prints
+the energy/time comparison — the paper's core result in miniature.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.config import MachineConfig
+from repro.experiments.configs import barrier_factory_for
+from repro.machine import System
+from repro.workloads import (
+    PhaseSpec,
+    RotatingStraggler,
+    WorkloadModel,
+    WorkloadRunner,
+)
+
+N_THREADS = 8
+
+
+def build_workload():
+    """A two-barrier loop where one (rotating) thread is always late."""
+    return WorkloadModel(
+        name="quickstart",
+        loop_phases=(
+            PhaseSpec(
+                "loop.work", 800_000,  # 800 us mean compute
+                RotatingStraggler(extra=0.6, sigma=0.02),
+                dirty_lines=32,
+            ),
+            PhaseSpec(
+                "loop.reduce", 300_000,
+                RotatingStraggler(extra=0.5, sigma=0.02),
+                dirty_lines=16,
+            ),
+        ),
+        iterations=10,
+        default_threads=N_THREADS,
+    )
+
+
+def run(config_name):
+    system = System(MachineConfig(n_nodes=N_THREADS))
+    runner = WorkloadRunner(
+        build_workload(),
+        system=system,
+        seed=42,
+        barrier_factory=barrier_factory_for(config_name),
+    )
+    return runner.run()
+
+
+def main():
+    baseline = run("baseline")
+    thrifty = run("thrifty")
+
+    print("Thrifty barrier quickstart ({} threads)".format(N_THREADS))
+    print("-" * 58)
+    for tag, result in (("baseline", baseline), ("thrifty", thrifty)):
+        print(
+            "{:9s}  energy {:8.4f} J   exec {:7.3f} ms   "
+            "imbalance {:4.1f}%".format(
+                tag,
+                result.energy_joules,
+                result.execution_time_ns / 1e6,
+                100 * result.barrier_imbalance(),
+            )
+        )
+    savings = 1 - thrifty.energy_joules / baseline.energy_joules
+    slowdown = (
+        thrifty.execution_time_ns / baseline.execution_time_ns - 1
+    )
+    print("-" * 58)
+    print(
+        "energy saved: {:.1f}%   performance cost: {:.2f}%".format(
+            100 * savings, 100 * slowdown
+        )
+    )
+    print("\nenergy breakdown (thrifty), joules:")
+    for segment, joules in thrifty.energy_breakdown().items():
+        print("  {:10s} {:.4f}".format(segment, joules))
+    assert savings > 0, "thrifty should save energy on imbalanced loops"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Evaluation sweep over SPLASH-2 application models.
+
+Reproduces a slice of the paper's Figures 5 and 6: for each selected
+application, runs all five configurations (Baseline, Thrifty-Halt,
+Oracle-Halt, Thrifty, Ideal) and prints the normalized energy and
+execution-time bars.
+
+Run with::
+
+    python examples/splash2_sweep.py [app ...]
+
+Default applications: volrend fmm ocean fft (one showcase, one typical
+target, the pathological case, and a non-repeating-barrier app). The
+full ten-application sweep is ``python -m repro figure5``.
+"""
+
+import sys
+
+from repro.experiments import figures, report
+from repro.experiments.runner import run_app
+
+
+def main(apps=None):
+    apps = apps or ["volrend", "fmm", "ocean", "fft"]
+    matrix = {}
+    for app in apps:
+        print("simulating {} (3 live runs + 2 derived)...".format(app))
+        matrix[app] = run_app(app, threads=64, seed=1)
+    print()
+    print(report.render_figure5(figures.figure5_rows(matrix)))
+    print()
+    print(report.render_figure6(figures.figure6_rows(matrix)))
+    print()
+    print(report.render_headline(matrix))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or None)

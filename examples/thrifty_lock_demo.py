@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The thrifty lock extension (paper Section 7, future work).
+
+Contends a queued lock with long critical sections and compares a plain
+spin-waiting lock with the thrifty lock, which predicts its queue wait
+from the observed hold times and sleeps through it — the barrier recipe
+transplanted onto a lock.
+
+Run with::
+
+    python examples/thrifty_lock_demo.py
+"""
+
+from repro.config import MachineConfig
+from repro.energy.accounting import Category
+from repro.machine import System
+from repro.sync import SpinLock, ThriftyLock
+
+N_THREADS = 16
+HOLD_NS = 500_000
+ROUNDS = 4
+
+
+def run(lock_class):
+    system = System(MachineConfig(n_nodes=N_THREADS))
+    lock = lock_class(system)
+
+    def program(node):
+        for _ in range(ROUNDS):
+            yield from lock.acquire(node)
+            yield from node.cpu.compute(HOLD_NS)
+            yield from lock.release(node)
+
+    system.run_threads(program)
+    return system, lock
+
+
+def main():
+    print(
+        "lock contention: {} threads x {} rounds, {} us critical "
+        "sections\n".format(N_THREADS, ROUNDS, HOLD_NS // 1000)
+    )
+    results = {
+        "spinlock": run(SpinLock),
+        "thrifty lock": run(ThriftyLock),
+    }
+    for tag, (system, lock) in results.items():
+        total = system.total_account()
+        sleep_share = total.time_ns(Category.SLEEP) / total.time_ns()
+        print(
+            "{:13s} energy {:8.4f} J  exec {:7.3f} ms  "
+            "sleep share {:4.1f}%".format(
+                tag,
+                total.energy_joules(),
+                system.execution_time_ns / 1e6,
+                100 * sleep_share,
+            )
+        )
+    thrifty_system, thrifty_lock = results["thrifty lock"]
+    spin_system, _ = results["spinlock"]
+    saved = 1 - (
+        thrifty_system.total_account().energy_joules()
+        / spin_system.total_account().energy_joules()
+    )
+    print(
+        "\nthrifty lock stats: {} sleeps ({}), {} hand-off wakes, "
+        "{} timer wakes".format(
+            thrifty_lock.stats.sleeps,
+            thrifty_lock.stats.sleeps_by_state,
+            thrifty_lock.stats.handoff_wakes,
+            thrifty_lock.stats.timer_wakes,
+        )
+    )
+    print("energy saved while queued: {:.1f}%".format(100 * saved))
+
+
+if __name__ == "__main__":
+    main()

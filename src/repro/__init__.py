@@ -1,0 +1,50 @@
+"""Reproduction of the Thrifty Barrier (Li, Martinez, Huang; HPCA 2004).
+
+The package is organized bottom-up:
+
+* :mod:`repro.sim` -- deterministic discrete-event kernel;
+* :mod:`repro.energy` -- Wattch-style power model, sleep states, accounting;
+* :mod:`repro.interconnect` / :mod:`repro.coherence` -- hypercube network and
+  directory-MESI coherence with the thrifty cache-controller extensions;
+* :mod:`repro.machine` -- CPUs with sleep-state machines, nodes, the 64-node
+  CC-NUMA system of the paper's Table 1;
+* :mod:`repro.predict` -- BIT/BRTS/BST bookkeeping and predictors;
+* :mod:`repro.sync` -- conventional, thrifty, oracle, and baseline barriers;
+* :mod:`repro.workloads` -- SPLASH-2-calibrated workload models;
+* :mod:`repro.experiments` -- the harness reproducing every table and figure.
+
+The top-level names below are loaded lazily so that importing a low-level
+subpackage (for instance :mod:`repro.sim` in a unit test) does not pull in
+the whole stack.
+"""
+
+__version__ = "1.0.0"
+
+_LAZY = {
+    "MachineConfig": ("repro.config", "MachineConfig"),
+    "SleepStateConfig": ("repro.config", "SleepStateConfig"),
+    "ThriftyConfig": ("repro.config", "ThriftyConfig"),
+    "CONFIG_NAMES": ("repro.experiments.configs", "CONFIG_NAMES"),
+    "run_experiment": ("repro.experiments.runner", "run_experiment"),
+    "run_matrix": ("repro.experiments.runner", "run_matrix"),
+}
+
+__all__ = sorted(_LAZY) + ["__version__"]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            "module {!r} has no attribute {!r}".format(__name__, name)
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

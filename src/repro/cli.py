@@ -1,0 +1,123 @@
+"""Command-line interface: regenerate any table or figure.
+
+Examples
+--------
+::
+
+    thrifty-barrier table2 --apps fmm ocean
+    thrifty-barrier figure5 --threads 64
+    thrifty-barrier headline
+    python -m repro figure3
+"""
+
+import argparse
+import sys
+
+from repro.experiments import figures, tables
+from repro.experiments import report
+from repro.experiments.runner import DEFAULT_SEED, run_matrix
+from repro.workloads.splash2 import SPLASH2_NAMES
+
+_ARTIFACTS = (
+    "table1", "table2", "table3", "figure3", "figure5", "figure6",
+    "headline", "all",
+)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="thrifty-barrier",
+        description=(
+            "Reproduce tables and figures of 'The Thrifty Barrier' "
+            "(HPCA 2004)."
+        ),
+    )
+    parser.add_argument(
+        "artifact", choices=_ARTIFACTS,
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--apps", nargs="*", default=None, metavar="APP",
+        help="applications to include (default: all ten; {})".format(
+            ", ".join(SPLASH2_NAMES)
+        ),
+    )
+    parser.add_argument(
+        "--threads", type=int, default=64,
+        help="thread/processor count (default 64, as in the paper)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="workload random seed (default {})".format(DEFAULT_SEED),
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the run matrix as JSON (figure5/figure6/"
+             "headline/all only)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the run matrix as CSV",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="append ASCII bar charts to figure5/figure6 output",
+    )
+    return parser
+
+
+def _emit(text):
+    print(text)
+    print()
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    needs_matrix = args.artifact in ("figure5", "figure6", "headline", "all")
+    matrix = None
+    if needs_matrix:
+        matrix = run_matrix(
+            apps=args.apps, threads=args.threads, seed=args.seed
+        )
+    if args.artifact in ("table1", "all"):
+        rows, validation = tables.table1_rows()
+        _emit(report.render_table1(rows, validation))
+    if args.artifact in ("table2", "all"):
+        rows = tables.table2_rows(
+            threads=args.threads, seed=args.seed, apps=args.apps
+        )
+        _emit(report.render_table2(rows))
+    if args.artifact in ("table3", "all"):
+        rows, tdp = tables.table3_rows()
+        _emit(report.render_table3(rows, tdp))
+    if args.artifact in ("figure3", "all"):
+        rows = figures.figure3_rows(threads=args.threads, seed=args.seed)
+        _emit(report.render_figure3(rows))
+    if args.artifact in ("figure5", "all"):
+        rows = figures.figure5_rows(matrix)
+        _emit(report.render_figure5(rows))
+        if args.chart:
+            _emit(report.render_bar_chart(rows))
+    if args.artifact in ("figure6", "all"):
+        rows = figures.figure6_rows(matrix)
+        _emit(report.render_figure6(rows))
+        if args.chart:
+            _emit(report.render_bar_chart(rows, value_key="wall"))
+    if args.artifact in ("headline", "all"):
+        _emit(report.render_headline(matrix))
+    if matrix is not None and (args.json or args.csv):
+        from repro.experiments.export import (
+            matrix_to_json,
+            matrix_to_records,
+            records_to_csv,
+        )
+
+        if args.json:
+            matrix_to_json(matrix, path=args.json)
+        if args.csv:
+            records_to_csv(matrix_to_records(matrix), args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

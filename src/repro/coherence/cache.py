@@ -1,0 +1,177 @@
+"""Set-associative cache arrays with LRU replacement.
+
+Caches here track *coherence state and timing* only; authoritative data
+values live in the functional store of :class:`repro.coherence.protocol.
+MemorySystem` (timing-first simulation, see DESIGN.md).
+"""
+
+import enum
+from collections import OrderedDict
+
+from repro.errors import ConfigError, ProtocolError
+
+
+class LineState(enum.Enum):
+    """Stable cache-line states (MSI; DASH needs no exclusive-clean)."""
+
+    MODIFIED = "M"
+    SHARED = "S"
+
+    # Invalid lines are simply absent from the arrays.
+
+
+class Cache:
+    """One level of set-associative cache with per-set LRU."""
+
+    def __init__(self, config, name="cache"):
+        self.config = config
+        self.name = name
+        # set index -> OrderedDict(line_addr -> LineState), LRU first.
+        self._sets = [OrderedDict() for _ in range(config.n_sets)]
+
+    def _set_for(self, line_addr):
+        return self._sets[line_addr % self.config.n_sets]
+
+    def lookup(self, line_addr):
+        """The line's state, or None when not present (invalid)."""
+        return self._set_for(line_addr).get(line_addr)
+
+    def touch(self, line_addr):
+        """Refresh LRU position; raises if the line is absent."""
+        cache_set = self._set_for(line_addr)
+        if line_addr not in cache_set:
+            raise ProtocolError(
+                "{}: touch of absent line {:#x}".format(self.name, line_addr)
+            )
+        cache_set.move_to_end(line_addr)
+
+    def insert(self, line_addr, state):
+        """Install a line; returns the evicted ``(line, state)`` or None."""
+        if not isinstance(state, LineState):
+            raise ConfigError("state must be a LineState")
+        cache_set = self._set_for(line_addr)
+        evicted = None
+        if line_addr not in cache_set and len(cache_set) >= self.config.ways:
+            evicted = cache_set.popitem(last=False)  # LRU victim
+        cache_set[line_addr] = state
+        cache_set.move_to_end(line_addr)
+        return evicted
+
+    def set_state(self, line_addr, state):
+        """Change the state of a resident line (e.g. M -> S downgrade)."""
+        cache_set = self._set_for(line_addr)
+        if line_addr not in cache_set:
+            raise ProtocolError(
+                "{}: state change of absent line {:#x}".format(
+                    self.name, line_addr
+                )
+            )
+        cache_set[line_addr] = state
+
+    def invalidate(self, line_addr):
+        """Drop a line; returns its former state or None if absent."""
+        return self._set_for(line_addr).pop(line_addr, None)
+
+    def resident_lines(self):
+        """All ``(line, state)`` pairs currently cached."""
+        for cache_set in self._sets:
+            yield from cache_set.items()
+
+    def dirty_lines(self):
+        """Line addresses currently in MODIFIED state."""
+        return [
+            line
+            for line, state in self.resident_lines()
+            if state is LineState.MODIFIED
+        ]
+
+    def occupancy(self):
+        """Number of resident lines."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def clear(self):
+        """Drop every line (used after a deep-sleep flush)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+
+class CacheHierarchy:
+    """The private L1+L2 pair of one node, kept inclusive.
+
+    Coherence state is authoritative at the L2; the L1 holds a subset.
+    ``lookup`` returns the access latency and state so the protocol
+    engine can charge L1 hits 2 ns and L2 hits 12 ns (Table 1).
+    """
+
+    def __init__(self, machine_config, node_id):
+        self.config = machine_config
+        self.node_id = node_id
+        self.l1 = Cache(machine_config.l1, name="L1[{}]".format(node_id))
+        self.l2 = Cache(machine_config.l2, name="L2[{}]".format(node_id))
+
+    def lookup(self, line_addr):
+        """Returns ``(latency_ns, state)``; state None means full miss."""
+        state = self.l1.lookup(line_addr)
+        if state is not None:
+            self.l1.touch(line_addr)
+            self.l2.touch(line_addr)
+            return self.config.l1.round_trip_ns, state
+        state = self.l2.lookup(line_addr)
+        if state is not None:
+            self.l2.touch(line_addr)
+            return (
+                self.config.l1.round_trip_ns + self.config.l2.round_trip_ns,
+                state,
+            )
+        return (
+            self.config.l1.round_trip_ns + self.config.l2.round_trip_ns,
+            None,
+        )
+
+    def state(self, line_addr):
+        """The coherence state at the L2 (authoritative), or None."""
+        return self.l2.lookup(line_addr)
+
+    def fill(self, line_addr, state):
+        """Install a line in both levels; returns dirty victims to write
+        back as a list of line addresses."""
+        dirty_victims = []
+        evicted = self.l2.insert(line_addr, state)
+        if evicted is not None:
+            victim, victim_state = evicted
+            # Inclusion: the L1 copy (if any) goes too.
+            self.l1.invalidate(victim)
+            if victim_state is LineState.MODIFIED:
+                dirty_victims.append(victim)
+        evicted = self.l1.insert(line_addr, state)
+        if evicted is not None:
+            victim, victim_state = evicted
+            # L1 victims remain in the (inclusive) L2; keep the L2 state
+            # authoritative, so nothing to write back here.
+            if self.l2.lookup(victim) is None:
+                raise ProtocolError(
+                    "inclusion violated: L1 victim {:#x} absent from L2".format(
+                        victim
+                    )
+                )
+        return dirty_victims
+
+    def set_state(self, line_addr, state):
+        """Downgrade/upgrade a resident line in both levels."""
+        self.l2.set_state(line_addr, state)
+        if self.l1.lookup(line_addr) is not None:
+            self.l1.set_state(line_addr, state)
+
+    def invalidate(self, line_addr):
+        """Drop a line from both levels; returns the L2 state it had."""
+        self.l1.invalidate(line_addr)
+        return self.l2.invalidate(line_addr)
+
+    def dirty_lines(self):
+        """Dirty (MODIFIED) lines, authoritative at the L2."""
+        return self.l2.dirty_lines()
+
+    def drop_all(self):
+        """Invalidate everything (deep-sleep flush aftermath)."""
+        self.l1.clear()
+        self.l2.clear()

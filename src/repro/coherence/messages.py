@@ -1,0 +1,53 @@
+"""Coherence message vocabulary and size model.
+
+Only the *types and sizes* matter for timing: control messages are one
+flit (16 bytes), data-bearing messages carry a 64-byte line plus header.
+"""
+
+import enum
+from dataclasses import dataclass
+
+CONTROL_BYTES = 16
+DATA_BYTES = 64 + 16
+
+
+class MessageType(enum.Enum):
+    GETS = "GetS"            # read request to home
+    GETX = "GetX"            # write/upgrade request to home
+    PUTX = "PutX"            # dirty write-back to home
+    FETCH = "Fetch"          # home asks owner for a shared copy
+    FETCH_INV = "FetchInv"   # home asks owner to yield and invalidate
+    INV = "Inv"              # home invalidates a sharer
+    INV_ACK = "InvAck"       # sharer acknowledges invalidation
+    DATA_S = "DataS"         # data reply, shared grant
+    DATA_X = "DataX"         # data reply, exclusive grant
+    WB_ACK = "WbAck"         # home acknowledges a write-back
+
+
+_DATA_CARRYING = {
+    MessageType.PUTX,
+    MessageType.DATA_S,
+    MessageType.DATA_X,
+}
+
+
+def message_bytes(message_type):
+    """Wire size of a message of the given type."""
+    if message_type in _DATA_CARRYING:
+        return DATA_BYTES
+    return CONTROL_BYTES
+
+
+@dataclass(frozen=True)
+class Message:
+    """A coherence message (used by traces and tests; the transaction
+    engine mostly works with latencies directly)."""
+
+    type: MessageType
+    line_addr: int
+    src: int
+    dst: int
+
+    @property
+    def size_bytes(self):
+        return message_bytes(self.type)

@@ -1,0 +1,31 @@
+"""Energy modeling: Wattch-style activity power, sleep states, accounting.
+
+The paper's methodology (Section 4.3) is followed closely:
+
+* active power comes from an activity-based architectural model
+  (:mod:`repro.energy.wattch`);
+* a worst-case microbenchmark derives TDPmax (:mod:`repro.energy.tdp`);
+* sleep-state residency power is the published *ratio* of TDPmax
+  (:mod:`repro.config`, Table 3), applied to our calibrated TDPmax;
+* transition power ramps linearly between the endpoints;
+* the spinloop draws 85% of regular compute power.
+
+Per-CPU consumption is recorded in four categories — Compute, Spin,
+Transition, Sleep — exactly the segments of the paper's Figures 5 and 6
+(:mod:`repro.energy.accounting`).
+"""
+
+from repro.energy.accounting import Category, EnergyAccount
+from repro.energy.states import ramp_energy, select_sleep_state
+from repro.energy.tdp import calibrate_tdp_max
+from repro.energy.wattch import ActivityProfile, WattchModel
+
+__all__ = [
+    "ActivityProfile",
+    "Category",
+    "EnergyAccount",
+    "WattchModel",
+    "calibrate_tdp_max",
+    "ramp_energy",
+    "select_sleep_state",
+]

@@ -1,0 +1,81 @@
+"""Per-CPU energy and time ledgers.
+
+Every simulated CPU keeps an :class:`EnergyAccount`; each state segment
+(a contiguous span in one category at one power level) is recorded as it
+closes. The four categories are exactly the stacked segments of the
+paper's Figures 5 and 6.
+"""
+
+import enum
+
+from repro.errors import SimulationError
+
+
+class Category(enum.Enum):
+    """Where a CPU's time (and energy) went."""
+
+    COMPUTE = "compute"
+    SPIN = "spin"
+    TRANSITION = "transition"
+    SLEEP = "sleep"
+
+
+class EnergyAccount:
+    """Accumulates joules and nanoseconds per :class:`Category`."""
+
+    def __init__(self):
+        self._energy_j = {category: 0.0 for category in Category}
+        self._time_ns = {category: 0 for category in Category}
+
+    def add(self, category, duration_ns, power_watts=None, energy_joules=None):
+        """Record a segment.
+
+        Exactly one of ``power_watts`` (constant-power segment) or
+        ``energy_joules`` (precomputed, e.g. a transition ramp) must be
+        given.
+        """
+        if duration_ns < 0:
+            raise SimulationError("segment duration must be non-negative")
+        if (power_watts is None) == (energy_joules is None):
+            raise SimulationError(
+                "pass exactly one of power_watts / energy_joules"
+            )
+        if energy_joules is None:
+            energy_joules = power_watts * duration_ns * 1e-9
+        if energy_joules < 0:
+            raise SimulationError("segment energy must be non-negative")
+        self._energy_j[category] += energy_joules
+        self._time_ns[category] += duration_ns
+
+    def energy_joules(self, category=None):
+        """Energy in one category, or total when ``category`` is None."""
+        if category is None:
+            return sum(self._energy_j.values())
+        return self._energy_j[category]
+
+    def time_ns(self, category=None):
+        """Time in one category, or total when ``category`` is None."""
+        if category is None:
+            return sum(self._time_ns.values())
+        return self._time_ns[category]
+
+    def merge(self, other):
+        """Fold another account into this one (for system-wide totals)."""
+        for category in Category:
+            self._energy_j[category] += other._energy_j[category]
+            self._time_ns[category] += other._time_ns[category]
+        return self
+
+    def energy_breakdown(self):
+        """Dict of category name to joules."""
+        return {c.value: self._energy_j[c] for c in Category}
+
+    def time_breakdown(self):
+        """Dict of category name to nanoseconds."""
+        return {c.value: self._time_ns[c] for c in Category}
+
+    def __repr__(self):
+        parts = ", ".join(
+            "{}={:.3g}J".format(c.value, self._energy_j[c]) for c in Category
+        )
+        return "EnergyAccount({})".format(parts)

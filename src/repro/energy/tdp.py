@@ -1,0 +1,90 @@
+"""TDPmax calibration by microbenchmark (paper Section 4.3).
+
+The paper derives sleep-state powers by (1) microbenchmarking the simulated
+processor to estimate its maximum thermal design power, then (2) applying
+the TDPmax-relative ratios published in processor datasheets. We do the
+same: a synthetic worst-case instruction mix is pushed through a small
+issue model to produce per-unit activity factors, which the Wattch model
+converts to watts. The highest observed sustained power is TDPmax.
+"""
+
+from dataclasses import dataclass
+
+from repro.energy.wattch import ActivityProfile, WattchModel
+
+#: Candidate instruction mixes (fractions of issued instructions that are
+#: integer ALU / FP / load-store / branch). The worst case saturates every
+#: unit class at once within the 6-wide issue budget of Table 1.
+_MICROBENCH_MIXES = (
+    {"int": 1.0, "fp": 0.0, "mem": 0.0, "br": 0.0},
+    {"int": 0.0, "fp": 1.0, "mem": 0.0, "br": 0.0},
+    {"int": 0.4, "fp": 0.2, "mem": 0.3, "br": 0.1},
+    {"int": 0.5, "fp": 0.33, "mem": 0.33, "br": 0.17},  # saturating mix
+)
+
+_ISSUE_WIDTH = 6
+_INT_UNITS = 6
+_FP_UNITS = 4
+_MEM_PORTS = 2
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the TDPmax microbenchmark sweep."""
+
+    tdp_max_watts: float
+    best_mix: dict
+    per_mix_watts: dict
+
+
+def _profile_for_mix(mix):
+    """Translate an instruction mix into per-unit activity factors."""
+    issued = {
+        "int": min(mix["int"] * _ISSUE_WIDTH, _INT_UNITS),
+        "fp": min(mix["fp"] * _ISSUE_WIDTH, _FP_UNITS),
+        "mem": min(mix["mem"] * _ISSUE_WIDTH, _MEM_PORTS),
+        "br": mix["br"] * _ISSUE_WIDTH,
+    }
+    utilization = min(1.0, sum(issued.values()) / _ISSUE_WIDTH)
+    return ActivityProfile(
+        clock_tree=1.0,
+        issue_window=utilization,
+        rename_rob=utilization,
+        int_alus=issued["int"] / _INT_UNITS,
+        fp_units=issued["fp"] / _FP_UNITS,
+        load_store_queue=issued["mem"] / _MEM_PORTS,
+        register_files=utilization,
+        branch_predictor=min(1.0, issued["br"]),
+        l1_cache=issued["mem"] / _MEM_PORTS,
+        l2_cache=min(1.0, 0.5 * issued["mem"] / _MEM_PORTS),
+        result_buses=utilization,
+    )
+
+
+def calibrate_tdp_max(model=None):
+    """Run the microbenchmark sweep; returns a :class:`CalibrationResult`.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.energy.wattch.WattchModel`; a default 1 GHz model
+        is built when omitted.
+    """
+    if model is None:
+        model = WattchModel()
+    per_mix = {}
+    best_mix = None
+    best_watts = 0.0
+    for mix in _MICROBENCH_MIXES:
+        watts = model.power(_profile_for_mix(mix))
+        per_mix[tuple(sorted(mix.items()))] = watts
+        if watts > best_watts:
+            best_watts = watts
+            best_mix = mix
+    # The absolute ceiling is every unit at max simultaneously; TDPmax is
+    # the best *achievable* sustained mix, but never above the ceiling.
+    ceiling = model.power(ActivityProfile.worst_case())
+    tdp = min(best_watts, ceiling)
+    return CalibrationResult(
+        tdp_max_watts=tdp, best_mix=dict(best_mix), per_mix_watts=per_mix
+    )

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the thrifty-barrier reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type when embedding the simulator.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly or reached a bad state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled, cancelled, or triggered incorrectly."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process yielded something that is not awaitable."""
+
+
+class ProtocolError(SimulationError):
+    """The cache-coherence protocol reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload model is malformed or produced an invalid trace."""

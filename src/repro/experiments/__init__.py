@@ -1,0 +1,35 @@
+"""The evaluation harness: every table and figure of the paper.
+
+* :mod:`repro.experiments.configs` — the five configurations of
+  Section 5.1 (Baseline, Thrifty-Halt, Oracle-Halt, Thrifty, Ideal);
+* :mod:`repro.experiments.runner` — runs (application x configuration)
+  cells; oracle configurations are derived exactly from the Baseline
+  run (see :mod:`repro.sync.oracle`);
+* :mod:`repro.experiments.metrics` — normalization and the headline
+  aggregates of Section 5.1;
+* :mod:`repro.experiments.tables` — Tables 1, 2, 3;
+* :mod:`repro.experiments.figures` — Figures 3, 5, 6;
+* :mod:`repro.experiments.report` — plain-text rendering.
+"""
+
+from repro.experiments.configs import (
+    CONFIG_NAMES,
+    CONFIG_SHORT,
+    DERIVED_CONFIGS,
+    LIVE_CONFIGS,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_experiment,
+    run_matrix,
+)
+
+__all__ = [
+    "CONFIG_NAMES",
+    "CONFIG_SHORT",
+    "DERIVED_CONFIGS",
+    "ExperimentResult",
+    "LIVE_CONFIGS",
+    "run_experiment",
+    "run_matrix",
+]

@@ -1,0 +1,124 @@
+"""Data series for the paper's figures.
+
+Figures 1, 2, and 4 are schematics (implemented as code and covered by
+tests); Figure 3 and the two results figures (5, 6) are regenerated
+here as row dictionaries that the report module renders and the
+benchmark harness prints.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+from repro.experiments.metrics import (
+    SEGMENTS,
+    normalized_breakdown,
+    normalized_total,
+)
+from repro.experiments.runner import DEFAULT_SEED, _run_live
+
+#: The thread Figure 3 observes ("a randomly picked thread, the same
+#: one in all twelve barrier instances"). Fixed for reproducibility.
+FIGURE3_THREAD = 17
+
+#: Loop iterations shown in Figure 3 ("four consecutive iterations");
+#: we skip iteration 0, the conventional warm-up.
+FIGURE3_ITERATIONS = (1, 2, 3, 4)
+
+
+@dataclass
+class Figure3Row:
+    """One bar of Figure 3: one barrier instance seen by one thread."""
+
+    iteration: int
+    barrier: str
+    barrier_index: int
+    bit_norm: float
+    compute_norm: float
+    bst_norm: float
+
+
+def figure3_rows(
+    threads=64, seed=DEFAULT_SEED, thread_id=FIGURE3_THREAD,
+    iterations=FIGURE3_ITERATIONS,
+):
+    """Regenerate Figure 3 from a Baseline FMM run.
+
+    Per instance, from the observing thread's perspective: BIT is the
+    gap between consecutive releases, BST its own stall, Compute the
+    difference. All normalized to the mean BIT across every instance of
+    the run.
+    """
+    run = _run_live("fmm", "baseline", threads, seed, None, {})
+    records = run.trace.released_instances()
+    if not records:
+        raise ConfigError("FMM run produced no released barriers")
+    n_phases = 3  # fmm.b1, fmm.b2, fmm.b3 per loop iteration
+    releases = [record.release_ts for record in records]
+    bits = [
+        releases[i] - (releases[i - 1] if i else 0)
+        for i in range(len(records))
+    ]
+    mean_bit = sum(bits) / len(bits)
+    rows: List[Figure3Row] = []
+    for iteration in iterations:
+        for phase in range(n_phases):
+            index = iteration * n_phases + phase
+            if index >= len(records):
+                raise ConfigError(
+                    "iteration {} exceeds the run length".format(iteration)
+                )
+            record = records[index]
+            stall = record.stall_ns(thread_id) or 0
+            bit = bits[index]
+            rows.append(
+                Figure3Row(
+                    iteration=iteration,
+                    barrier=record.pc,
+                    barrier_index=phase + 1,
+                    bit_norm=bit / mean_bit,
+                    compute_norm=(bit - stall) / mean_bit,
+                    bst_norm=stall / mean_bit,
+                )
+            )
+    return rows
+
+
+def figure5_rows(matrix):
+    """Normalized energy bars: one row per (app, config), with the four
+    stacked segments as percentages of the app's Baseline energy."""
+    return _result_rows(matrix, kind="energy")
+
+
+def figure6_rows(matrix):
+    """Normalized execution-time bars, same layout as Figure 5."""
+    return _result_rows(matrix, kind="time")
+
+
+def _result_rows(matrix, kind):
+    rows = []
+    for app, by_config in matrix.items():
+        baseline = by_config.get("baseline")
+        if baseline is None:
+            raise ConfigError(
+                "matrix for {!r} lacks a baseline run".format(app)
+            )
+        for config, result in by_config.items():
+            breakdown = normalized_breakdown(result, baseline, kind)
+            row = {
+                "app": app,
+                "config": config,
+                "total": normalized_total(result, baseline, kind),
+            }
+            if kind == "time":
+                # The bar height the paper plots is wall-clock execution
+                # time; the segments are aggregate CPU-time shares.
+                row["wall"] = (
+                    100.0
+                    * result.execution_time_ns
+                    / baseline.execution_time_ns
+                )
+            for segment in SEGMENTS:
+                row[segment] = breakdown[segment]
+            rows.append(row)
+    return rows

@@ -1,0 +1,84 @@
+"""Normalization and headline aggregates (Section 5.1).
+
+Everything in Figures 5 and 6 is normalized to the Baseline bar of the
+same application: a segment value of 17.0 means 17% of Baseline's total
+energy (or execution time).
+"""
+
+from repro.errors import ConfigError
+from repro.workloads.splash2 import TARGET_APPS
+
+#: Stacking order of the paper's bars (bottom to top).
+SEGMENTS = ("compute", "spin", "transition", "sleep")
+
+
+def normalized_breakdown(result, baseline, kind="energy"):
+    """Per-segment percentages of the Baseline total."""
+    if kind == "energy":
+        total = baseline.total.energy_joules()
+        breakdown = result.energy_breakdown()
+    elif kind == "time":
+        total = baseline.total.time_ns()
+        breakdown = result.time_breakdown()
+    else:
+        raise ConfigError("kind must be 'energy' or 'time'")
+    if total <= 0:
+        raise ConfigError("baseline total must be positive")
+    return {
+        segment: 100.0 * breakdown[segment] / total for segment in SEGMENTS
+    }
+
+
+def normalized_total(result, baseline, kind="energy"):
+    """The bar height: percentage of the Baseline total."""
+    return sum(normalized_breakdown(result, baseline, kind).values())
+
+
+def energy_savings(result, baseline):
+    """Fractional energy saved versus Baseline (positive = saved)."""
+    return 1.0 - result.energy_joules / baseline.energy_joules
+
+
+def slowdown(result, baseline):
+    """Fractional execution-time increase versus Baseline."""
+    return (
+        result.execution_time_ns / baseline.execution_time_ns - 1.0
+    )
+
+
+def headline_summary(matrix, target_apps=TARGET_APPS):
+    """The Section 5.1 aggregates.
+
+    Returns a dict with, per non-baseline configuration, the mean energy
+    savings and mean slowdown over the target applications, plus the
+    leave-one-out variant the paper quotes (Volrend swapped for
+    Water-Sp).
+    """
+    sample_app = next(iter(matrix))
+    configs = [c for c in matrix[sample_app] if c != "baseline"]
+    summary = {}
+    loo_apps = tuple(
+        app if app != "volrend" else "water-sp" for app in target_apps
+    )
+    for config in configs:
+        entry = {}
+        for label, apps in (("target", target_apps), ("loo", loo_apps)):
+            used = [app for app in apps if app in matrix]
+            if not used:
+                continue
+            savings = [
+                energy_savings(matrix[app][config], matrix[app]["baseline"])
+                for app in used
+            ]
+            slowdowns = [
+                slowdown(matrix[app][config], matrix[app]["baseline"])
+                for app in used
+            ]
+            entry["{}_energy_savings".format(label)] = sum(savings) / len(
+                savings
+            )
+            entry["{}_slowdown".format(label)] = sum(slowdowns) / len(
+                slowdowns
+            )
+        summary[config] = entry
+    return summary

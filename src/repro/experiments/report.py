@@ -1,0 +1,194 @@
+"""Plain-text rendering of tables and figures.
+
+Every artifact of the evaluation prints as an aligned text table, the
+form the benchmark harness emits next to pytest-benchmark's timing
+output.
+"""
+
+from repro.experiments.configs import CONFIG_NAMES, CONFIG_SHORT
+from repro.experiments.metrics import SEGMENTS, headline_summary
+
+
+def render_table(headers, rows, title=None):
+    """Align ``rows`` (sequences of stringifiable cells) under headers."""
+    table = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in table))
+        if table
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in table:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_table1(rows, validation):
+    body = render_table(
+        ("Parameter", "Value"), rows,
+        title="Table 1: architecture modeled",
+    )
+    probes = render_table(
+        ("Probe", "Measured"),
+        [
+            ("L1 round trip", "{} ns".format(validation.l1_round_trip_ns)),
+            ("L2 round trip", "{} ns".format(validation.l2_round_trip_ns)),
+            ("Memory access", "{} ns".format(validation.memory_access_ns)),
+            ("Network 1 hop", "{} ns".format(validation.network_one_hop_ns)),
+            (
+                "Network diameter",
+                "{} ns".format(validation.network_diameter_ns),
+            ),
+        ],
+        title="Measured validation probes",
+    )
+    return body + "\n\n" + probes
+
+
+def render_table2(rows):
+    formatted = [
+        (app, size, "{:.2f}%".format(paper), "{:.2f}%".format(measured))
+        for app, size, paper, measured in rows
+    ]
+    return render_table(
+        ("Application", "Problem Size", "Paper", "Measured"),
+        formatted,
+        title="Table 2: barrier imbalance (Baseline, 64 threads)",
+    )
+
+
+def render_table3(rows, tdp):
+    formatted = [
+        (
+            name,
+            "{:.1f}%".format(savings),
+            "{:.0f} us".format(latency_us),
+            snoop,
+            voltage,
+            "{:.2f} W".format(watts),
+        )
+        for name, savings, latency_us, snoop, voltage, watts in rows
+    ]
+    body = render_table(
+        ("State", "P. Savings", "Tr. Latency", "Snoop?", "V. Reduction?",
+         "Residency"),
+        formatted,
+        title="Table 3: low-power sleep states (TDPmax = {:.1f} W)".format(
+            tdp
+        ),
+    )
+    return body
+
+
+def render_figure3(rows):
+    formatted = [
+        (
+            "i+{}".format(row.iteration - rows[0].iteration),
+            row.barrier_index,
+            "{:.2f}".format(row.bit_norm),
+            "{:.2f}".format(row.compute_norm),
+            "{:.2f}".format(row.bst_norm),
+        )
+        for row in rows
+    ]
+    return render_table(
+        ("Iteration", "Barrier", "BIT", "Compute", "BST"),
+        formatted,
+        title=(
+            "Figure 3: FMM main-loop barriers, normalized to mean BIT "
+            "(thread view)"
+        ),
+    )
+
+
+def _render_results_figure(rows, title, include_wall=False):
+    headers = ["App", "Cfg", "Total"] + [s.capitalize() for s in SEGMENTS]
+    if include_wall:
+        headers.insert(3, "Wall")
+    order = {name: i for i, name in enumerate(CONFIG_NAMES)}
+    formatted = []
+    for row in sorted(
+        rows, key=lambda r: (r["app"], order.get(r["config"], 99))
+    ):
+        cells = [
+            row["app"],
+            CONFIG_SHORT.get(row["config"], row["config"]),
+            "{:.1f}".format(row["total"]),
+        ]
+        if include_wall:
+            cells.append("{:.1f}".format(row.get("wall", row["total"])))
+        cells += ["{:.1f}".format(row[s]) for s in SEGMENTS]
+        formatted.append(cells)
+    return render_table(headers, formatted, title=title)
+
+
+def render_figure5(rows):
+    return _render_results_figure(
+        rows,
+        "Figure 5: normalized energy (%) — B/H/O/T/I per application",
+    )
+
+
+def render_figure6(rows):
+    return _render_results_figure(
+        rows,
+        "Figure 6: normalized execution time (%) — B/H/O/T/I per "
+        "application",
+        include_wall=True,
+    )
+
+
+def render_bar_chart(rows, value_key="total", width=40, label_keys=("app", "config")):
+    """ASCII bars for figure rows, the paper's stacked plots in text.
+
+    ``rows`` are the dicts from :func:`repro.experiments.figures.
+    figure5_rows` / ``figure6_rows``; one bar per row, scaled so that
+    100% spans ``width`` characters.
+    """
+    lines = []
+    order = {name: i for i, name in enumerate(CONFIG_NAMES)}
+    scale = max(100.0, max((row[value_key] for row in rows), default=100.0))
+    for row in sorted(
+        rows, key=lambda r: (r["app"], order.get(r["config"], 99))
+    ):
+        label = " ".join(
+            CONFIG_SHORT.get(str(row[k]), str(row[k])) for k in label_keys
+        )
+        value = row[value_key]
+        filled = int(round(width * value / scale))
+        lines.append(
+            "{:16s} |{:{width}s}| {:5.1f}".format(
+                label, "#" * filled, value, width=width
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_headline(matrix):
+    summary = headline_summary(matrix)
+    rows = []
+    for config, entry in summary.items():
+        rows.append(
+            (
+                config,
+                "{:.1f}%".format(100 * entry.get("target_energy_savings", 0)),
+                "{:.1f}%".format(100 * entry.get("target_slowdown", 0)),
+                "{:.1f}%".format(100 * entry.get("loo_energy_savings", 0)),
+                "{:.1f}%".format(100 * entry.get("loo_slowdown", 0)),
+            )
+        )
+    return render_table(
+        ("Config", "Savings(target)", "Slowdown(target)",
+         "Savings(-volrend)", "Slowdown(-volrend)"),
+        rows,
+        title="Section 5.1 headline aggregates over the target apps",
+    )

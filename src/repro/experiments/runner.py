@@ -1,0 +1,195 @@
+"""Run (application x configuration) experiment cells.
+
+The unit of work is :func:`run_experiment`; :func:`run_app` produces all
+five configurations for one application (sharing one Baseline run for
+the two derived oracles); :func:`run_matrix` sweeps applications —
+everything Figures 5 and 6 need.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import MachineConfig
+from repro.energy.accounting import EnergyAccount
+from repro.errors import ConfigError
+from repro.experiments.configs import (
+    CONFIG_NAMES,
+    DERIVED_CONFIGS,
+    LIVE_CONFIGS,
+    ORACLE_STATES,
+    barrier_factory_for,
+)
+from repro.machine import System
+from repro.sync import ThriftyBarrier, oracle_rerun
+from repro.workloads import WorkloadRunner, get_model
+
+DEFAULT_SEED = 1
+
+
+@dataclass
+class ExperimentResult:
+    """One (application, configuration) measurement."""
+
+    app: str
+    config: str
+    n_threads: int
+    execution_time_ns: int
+    total: EnergyAccount
+    barrier_imbalance: float
+    thrifty_stats: dict = field(default_factory=dict)
+    oracle_meta: Optional[dict] = None
+
+    @property
+    def energy_joules(self):
+        return self.total.energy_joules()
+
+    def energy_breakdown(self):
+        return self.total.energy_breakdown()
+
+    def time_breakdown(self):
+        return self.total.time_breakdown()
+
+
+def _summarize_thrifty(barriers):
+    totals = {}
+    for barrier in barriers.values():
+        if not isinstance(barrier, ThriftyBarrier):
+            continue
+        stats = barrier.stats
+        for key in (
+            "sleeps", "spin_fallbacks", "cold_spins", "disabled_spins",
+            "aborted_sleeps", "timer_wakes", "invalidation_wakes",
+            "cutoff_disables", "filtered_updates",
+        ):
+            totals[key] = totals.get(key, 0) + getattr(stats, key)
+        for state, count in stats.sleeps_by_state.items():
+            key = "sleeps[{}]".format(state)
+            totals[key] = totals.get(key, 0) + count
+    return totals
+
+
+def _live_result(app, config_name, run):
+    return ExperimentResult(
+        app=app,
+        config=config_name,
+        n_threads=run.n_threads,
+        execution_time_ns=run.execution_time_ns,
+        total=run.total,
+        barrier_imbalance=run.barrier_imbalance(),
+        thrifty_stats=_summarize_thrifty(run.barriers),
+    )
+
+
+def _derived_result(app, config_name, baseline_run):
+    states = ORACLE_STATES[config_name]
+    replay = oracle_rerun(
+        baseline_run.trace,
+        baseline_run.accounts,
+        baseline_run.power,
+        states,
+    )
+    total = EnergyAccount()
+    for account in replay.accounts:
+        total.merge(account)
+    return ExperimentResult(
+        app=app,
+        config=config_name,
+        n_threads=baseline_run.n_threads,
+        execution_time_ns=baseline_run.execution_time_ns,
+        total=total,
+        barrier_imbalance=baseline_run.barrier_imbalance(),
+        oracle_meta={
+            "sleeps_by_state": dict(replay.sleeps_by_state),
+            "spin_stalls": replay.spin_stalls,
+            "slept_stalls": replay.slept_stalls,
+        },
+    )
+
+
+def _run_live(app, config_name, threads, seed, machine_config, overrides):
+    model = get_model(app)
+    system = System(machine_config or MachineConfig())
+    runner = WorkloadRunner(
+        model,
+        system=system,
+        n_threads=threads,
+        seed=seed,
+        barrier_factory=barrier_factory_for(config_name, **overrides),
+    )
+    return runner.run()
+
+
+def run_experiment(
+    app, config, threads=64, seed=DEFAULT_SEED,
+    machine_config=None, **thrifty_overrides,
+):
+    """Run one cell; derived configurations run their Baseline first.
+
+    Returns an :class:`ExperimentResult`.
+    """
+    if config in LIVE_CONFIGS:
+        run = _run_live(
+            app, config, threads, seed, machine_config, thrifty_overrides
+        )
+        return _live_result(app, config, run)
+    if config in DERIVED_CONFIGS:
+        baseline_run = _run_live(
+            app, "baseline", threads, seed, machine_config, {}
+        )
+        return _derived_result(app, config, baseline_run)
+    raise ConfigError(
+        "unknown configuration {!r}; choose from {}".format(
+            config, ", ".join(CONFIG_NAMES)
+        )
+    )
+
+
+def run_app(
+    app, threads=64, seed=DEFAULT_SEED, machine_config=None, configs=None,
+):
+    """All requested configurations for one application.
+
+    The Baseline simulation is shared by the two derived oracles, so a
+    full five-way comparison costs three live runs.
+    """
+    configs = tuple(configs or CONFIG_NAMES)
+    results: Dict[str, ExperimentResult] = {}
+    baseline_run = None
+    need_baseline = (
+        "baseline" in configs
+        or any(config in DERIVED_CONFIGS for config in configs)
+    )
+    if need_baseline:
+        baseline_run = _run_live(
+            app, "baseline", threads, seed, machine_config, {}
+        )
+    for config in configs:
+        if config == "baseline":
+            results[config] = _live_result(app, config, baseline_run)
+        elif config in DERIVED_CONFIGS:
+            results[config] = _derived_result(app, config, baseline_run)
+        elif config in LIVE_CONFIGS:
+            run = _run_live(
+                app, config, threads, seed, machine_config, {}
+            )
+            results[config] = _live_result(app, config, run)
+        else:
+            raise ConfigError("unknown configuration {!r}".format(config))
+    return results
+
+
+def run_matrix(
+    apps=None, threads=64, seed=DEFAULT_SEED,
+    machine_config=None, configs=None,
+):
+    """The full evaluation sweep: {app: {config: ExperimentResult}}."""
+    from repro.workloads.splash2 import SPLASH2_NAMES
+
+    apps = tuple(apps or SPLASH2_NAMES)
+    return {
+        app: run_app(
+            app, threads=threads, seed=seed,
+            machine_config=machine_config, configs=configs,
+        )
+        for app in apps
+    }

@@ -1,0 +1,132 @@
+"""Timing model of the wormhole hypercube network.
+
+Table 1 gives a 16 ns pin-to-pin hop latency, 16 ns of (un)marshaling at
+each endpoint, and pipelined 250 MHz routers with a 16-byte datapath.
+With wormhole switching the head flit pays the full hop path while the
+body streams behind it, so a message of ``size`` bytes delivers after::
+
+    2 * marshal + hops * pin_to_pin + serialization(size)
+
+where serialization is the extra flits behind the head at the router
+clock. Node-local "messages" (a node talking to its own directory) skip
+the network entirely.
+
+Contention is not modeled (a documented simplification — the paper's
+barrier traffic is latency-, not bandwidth-bound); link-load statistics
+are still collected so tests and reports can observe hot links.
+"""
+
+import math
+from collections import Counter
+
+from repro.errors import ConfigError
+from repro.interconnect.routing import links_used
+from repro.interconnect.topology import Hypercube
+
+
+class NetworkStats:
+    """Counters a :class:`Network` maintains for reporting and tests."""
+
+    def __init__(self):
+        self.messages = 0
+        self.total_bytes = 0
+        self.total_hops = 0
+        self.link_loads = Counter()
+
+    def record(self, hops, size_bytes, links):
+        self.messages += 1
+        self.total_bytes += size_bytes
+        self.total_hops += hops
+        for link in links:
+            self.link_loads[link] += 1
+
+    @property
+    def mean_hops(self):
+        if self.messages == 0:
+            return 0.0
+        return self.total_hops / self.messages
+
+
+class Network:
+    """Latency model bound to a :class:`~repro.sim.Simulator`."""
+
+    def __init__(self, sim, topology, config, track_links=False):
+        if not isinstance(topology, Hypercube):
+            raise ConfigError("Network requires a Hypercube topology")
+        self.sim = sim
+        self.topology = topology
+        self.config = config
+        self.flit_bytes = 16
+        # 250 MHz -> 4 ns per router cycle; one flit advances per cycle.
+        self.flit_cycle_ns = max(1, int(round(1_000 / config.router_freq_mhz)))
+        self._track_links = track_links or config.model_contention
+        self._link_busy_until = {}
+        self.stats = NetworkStats()
+
+    def latency_ns(self, src, dst, size_bytes=16):
+        """Uncontended one-way delivery latency (the base estimate)."""
+        if size_bytes <= 0:
+            raise ConfigError("message size must be positive")
+        if src == dst:
+            return 0
+        hops = self.topology.hops(src, dst)
+        body_flits = max(0, math.ceil(size_bytes / self.flit_bytes) - 1)
+        return (
+            2 * self.config.marshal_ns
+            + hops * self.config.pin_to_pin_ns
+            + body_flits * self.flit_cycle_ns
+        )
+
+    def _occupancy_ns(self, size_bytes):
+        """How long a wormhole message holds each channel it crosses."""
+        flits = max(1, math.ceil(size_bytes / self.flit_bytes))
+        return flits * self.flit_cycle_ns
+
+    def _contended_latency_ns(self, links, size_bytes):
+        """Walk the e-cube path, queueing behind busy links.
+
+        Mutates the per-link reservations, so call exactly once per
+        message. The head flit waits for each channel to free, then
+        advances one hop; the channel stays held for the message's
+        serialization time (wormhole: the worm occupies the channel).
+        """
+        occupancy = self._occupancy_ns(size_bytes)
+        head_time = self.sim.now + self.config.marshal_ns
+        for link in links:
+            free_at = self._link_busy_until.get(link, 0)
+            start = max(head_time, free_at)
+            self._link_busy_until[link] = start + occupancy
+            head_time = start + self.config.pin_to_pin_ns
+        body_flits = max(0, math.ceil(size_bytes / self.flit_bytes) - 1)
+        arrival = (
+            head_time
+            + self.config.marshal_ns
+            + body_flits * self.flit_cycle_ns
+        )
+        return arrival - self.sim.now
+
+    def _delivery_latency(self, src, dst, size_bytes):
+        """Latency for one concrete message; records statistics."""
+        if size_bytes <= 0:
+            raise ConfigError("message size must be positive")
+        if src == dst:
+            return 0
+        links = (
+            links_used(src, dst, self.topology.dimension)
+            if self._track_links
+            else ()
+        )
+        self.stats.record(self.topology.hops(src, dst), size_bytes, links)
+        if self.config.model_contention:
+            return self._contended_latency_ns(links, size_bytes)
+        return self.latency_ns(src, dst, size_bytes)
+
+    def transfer(self, src, dst, size_bytes=16):
+        """An event that succeeds when the message arrives at ``dst``."""
+        return self.sim.timeout(self._delivery_latency(src, dst, size_bytes))
+
+    def send(self, src, dst, handler, *args, size_bytes=16):
+        """Deliver ``handler(*args)`` at ``dst`` after the wire latency."""
+        return self.sim.schedule(
+            self._delivery_latency(src, dst, size_bytes), handler, *args
+        )

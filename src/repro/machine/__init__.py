@@ -1,0 +1,26 @@
+"""The modeled machine: CPUs, nodes, and the CC-NUMA system of Table 1.
+
+* :mod:`repro.machine.power` — per-CPU power levels derived from the
+  Wattch model and the TDPmax microbenchmark;
+* :mod:`repro.machine.cpu` — the CPU's execution/sleep state machine and
+  its energy ledger;
+* :mod:`repro.machine.node` — one node: CPU + cache controller + caches;
+* :mod:`repro.machine.system` — builds the whole machine and runs
+  thread programs on it.
+"""
+
+from repro.machine.cpu import Cpu, SleepOutcome
+from repro.machine.node import Node
+from repro.machine.power import CpuPower
+from repro.machine.system import System
+from repro.machine.timeshare import CpuToken, make_tokens
+
+__all__ = [
+    "Cpu",
+    "CpuPower",
+    "CpuToken",
+    "Node",
+    "SleepOutcome",
+    "System",
+    "make_tokens",
+]

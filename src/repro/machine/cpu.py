@@ -1,0 +1,209 @@
+"""The CPU execution/sleep state machine and its energy ledger.
+
+A :class:`Cpu` exposes generator primitives that thread programs (and the
+barrier implementations) compose:
+
+* :meth:`Cpu.compute` — run for a duration at compute power;
+* :meth:`Cpu.spin_until` / :meth:`Cpu.spin_for` — spin-wait at 85% of
+  compute power (paper Section 4.3);
+* :meth:`Cpu.sleep` — the full sleep sequence: optional dirty-data flush
+  (for non-snooping states), transition in, residency until a wake event,
+  transition out. Each piece lands in the right accounting category:
+  flush time in Compute (Section 5.2), ramps in Transition, residency in
+  Sleep.
+
+Flushing a deep-sleep state invalidates the flushed lines, so the CPU
+carries a *refill debt*: the next compute phase is lengthened by the
+compulsory-miss penalty of re-fetching them.
+"""
+
+from dataclasses import dataclass
+
+from repro.energy.accounting import Category, EnergyAccount
+from repro.energy.states import ramp_energy
+from repro.errors import SimulationError
+
+
+@dataclass
+class SleepOutcome:
+    """What happened during one :meth:`Cpu.sleep` call."""
+
+    state: object
+    flushed_lines: int
+    flush_ns: int
+    resident_ns: int
+    entered_at: int
+    wake_completed_at: int
+
+    @property
+    def total_ns(self):
+        return self.wake_completed_at - self.entered_at
+
+
+class Cpu:
+    """One processor of the machine."""
+
+    def __init__(self, sim, node_id, power, refill_per_line_ns=100):
+        self.sim = sim
+        self.node_id = node_id
+        self.power = power
+        self.refill_per_line_ns = refill_per_line_ns
+        self.account = EnergyAccount()
+        self._refill_debt_ns = 0
+        self.sleep_outcomes = []
+
+    # -- debts -------------------------------------------------------------
+
+    @property
+    def refill_debt_ns(self):
+        """Pending compulsory-miss penalty from a deep-sleep flush."""
+        return self._refill_debt_ns
+
+    def add_refill_debt(self, lines):
+        if lines < 0:
+            raise SimulationError("refill debt lines must be non-negative")
+        self._refill_debt_ns += lines * self.refill_per_line_ns
+
+    # -- execution primitives (generators) ----------------------------------
+
+    def compute(self, duration_ns):
+        """Execute for ``duration_ns`` at compute power.
+
+        Any outstanding refill debt is paid here — the re-fetches happen
+        during the first post-wake computation and grow the Compute
+        segment, as the paper observes for FMM/Water-Nsq/Ocean.
+        """
+        if duration_ns < 0:
+            raise SimulationError("compute duration must be non-negative")
+        duration_ns += self._refill_debt_ns
+        self._refill_debt_ns = 0
+        yield self.sim.timeout(duration_ns)
+        self.account.add(
+            Category.COMPUTE, duration_ns, power_watts=self.power.compute_watts
+        )
+
+    def mem_op(self, transaction):
+        """Run a memory-system transaction, charging its time as Compute.
+
+        The paper files non-barrier stalls (memory, locks) under Compute;
+        this wrapper times an arbitrary protocol generator and does the
+        same. Returns the transaction's value.
+        """
+        return self.mem_op_as(Category.COMPUTE, transaction)
+
+    def mem_op_as(self, category, transaction):
+        """Run a memory transaction, charging its time to ``category``.
+
+        Barrier-internal operations (check-in, flag reads) are part of
+        barrier time and are charged to Spin; ordinary program accesses
+        go to Compute. Spin-category time is charged at spinloop power.
+        """
+        watts = (
+            self.power.spin_watts
+            if category is Category.SPIN
+            else self.power.compute_watts
+        )
+        started = self.sim.now
+        value = yield from transaction
+        self.account.add(
+            category, self.sim.now - started, power_watts=watts
+        )
+        return value
+
+    def spin_until(self, event):
+        """Spin-wait on ``event`` at spinloop power; returns spin time."""
+        started = self.sim.now
+        yield event
+        spun = self.sim.now - started
+        self.account.add(
+            Category.SPIN, spun, power_watts=self.power.spin_watts
+        )
+        return spun
+
+    def spin_for(self, duration_ns):
+        """Spin for a fixed duration (used by oracle accounting paths)."""
+        if duration_ns < 0:
+            raise SimulationError("spin duration must be non-negative")
+        yield self.sim.timeout(duration_ns)
+        self.account.add(
+            Category.SPIN, duration_ns, power_watts=self.power.spin_watts
+        )
+        return duration_ns
+
+    def sleep(self, state, wake_event, controller=None, flush_lines=0):
+        """The full sleep sequence; returns a :class:`SleepOutcome`.
+
+        Parameters
+        ----------
+        state:
+            The :class:`~repro.config.SleepStateConfig` to enter.
+        wake_event:
+            Event ending the residency (typically an ``AnyOf`` of the
+            internal timer and the external flag-invalidation).
+        controller:
+            The node's cache controller; required when ``state`` cannot
+            snoop, to flush dirty data first.
+        flush_lines:
+            Extra dirty footprint (workload-model lines) to flush.
+        """
+        entered_at = self.sim.now
+        flushed = 0
+        flush_ns = 0
+        if not state.snoops:
+            if controller is None:
+                raise SimulationError(
+                    "non-snooping state {} requires a cache controller "
+                    "to flush".format(state.name)
+                )
+            flush_started = self.sim.now
+            flushed = yield from controller.flush_dirty(
+                extra_lines=flush_lines
+            )
+            flush_ns = self.sim.now - flush_started
+            # Flush overhead is computation-side work (Section 5.2).
+            self.account.add(
+                Category.COMPUTE, flush_ns,
+                power_watts=self.power.compute_watts,
+            )
+            self.add_refill_debt(flushed)
+            controller.set_snooping(False)
+        sleep_watts = self.power.sleep_watts(state)
+        # Transition in: linear ramp from compute power to sleep power.
+        yield self.sim.timeout(state.transition_latency_ns)
+        self.account.add(
+            Category.TRANSITION,
+            state.transition_latency_ns,
+            energy_joules=ramp_energy(
+                self.power.compute_watts, sleep_watts,
+                state.transition_latency_ns,
+            ),
+        )
+        # Residency: wait for the wake signal (may already have fired).
+        resident_started = self.sim.now
+        yield wake_event
+        resident_ns = self.sim.now - resident_started
+        self.account.add(
+            Category.SLEEP, resident_ns, power_watts=sleep_watts
+        )
+        # Transition out: ramp back up.
+        yield self.sim.timeout(state.transition_latency_ns)
+        self.account.add(
+            Category.TRANSITION,
+            state.transition_latency_ns,
+            energy_joules=ramp_energy(
+                sleep_watts, self.power.compute_watts,
+                state.transition_latency_ns,
+            ),
+        )
+        if not state.snoops and controller is not None:
+            controller.set_snooping(True)
+        outcome = SleepOutcome(
+            state=state,
+            flushed_lines=flushed,
+            flush_ns=flush_ns,
+            resident_ns=resident_ns,
+            entered_at=entered_at,
+            wake_completed_at=self.sim.now,
+        )
+        self.sleep_outcomes.append(outcome)
+        return outcome

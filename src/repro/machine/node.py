@@ -1,0 +1,50 @@
+"""One node of the CC-NUMA machine: CPU + cache controller + caches.
+
+The node also provides the address-space helpers the workload layer
+uses: shared addresses are page-interleaved across homes (Table 1),
+private addresses are allocated on pages whose home is the node itself.
+"""
+
+from repro.coherence.controller import CacheController
+from repro.machine.cpu import Cpu
+
+
+class Node:
+    """A processor node, wired into the shared memory system."""
+
+    def __init__(self, sim, node_id, memsys, power):
+        self.sim = sim
+        self.node_id = node_id
+        self.memsys = memsys
+        self.controller = CacheController(sim, node_id, memsys)
+        memsys.controllers[node_id] = self.controller
+        self.cpu = Cpu(
+            sim, node_id, power,
+            refill_per_line_ns=memsys.config.refill_per_line_ns,
+        )
+
+    # -- memory operations, charged as compute time ------------------------
+
+    def load(self, addr):
+        """Timed load; the stall is charged to Compute (paper Sec. 5.2)."""
+        return self.cpu.mem_op(self.memsys.load(self.node_id, addr))
+
+    def store(self, addr, value):
+        """Timed store, charged to Compute."""
+        return self.cpu.mem_op(self.memsys.store(self.node_id, addr, value))
+
+    def rmw(self, addr, update):
+        """Timed atomic read-modify-write, charged to Compute."""
+        return self.cpu.mem_op(self.memsys.rmw(self.node_id, addr, update))
+
+    def private_addr(self, offset):
+        """An address on a page homed at this node (private data)."""
+        config = self.memsys.config
+        pages_per_round = config.n_nodes
+        page_index = (
+            self.node_id + pages_per_round * (offset // config.page_bytes)
+        )
+        return page_index * config.page_bytes + offset % config.page_bytes
+
+    def __repr__(self):
+        return "Node({})".format(self.node_id)

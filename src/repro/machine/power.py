@@ -1,0 +1,45 @@
+"""Per-CPU power levels (paper Section 4.3).
+
+The Wattch model gives the power of active computation; the TDPmax
+microbenchmark anchors the sleep-state residency powers (published as
+ratios of TDPmax, Table 3); and the spinloop is charged the measured 85%
+of regular computation.
+"""
+
+from dataclasses import dataclass
+
+from repro.config import EnergyConfig
+from repro.energy.tdp import calibrate_tdp_max
+from repro.energy.wattch import ActivityProfile, WattchModel
+
+
+@dataclass(frozen=True)
+class CpuPower:
+    """Power levels, in watts, shared by every CPU of the machine."""
+
+    compute_watts: float
+    spin_watts: float
+    tdp_max_watts: float
+
+    @classmethod
+    def calibrate(cls, machine_config=None, energy_config=None):
+        """Build from the Wattch model + TDP microbenchmark."""
+        energy_config = energy_config or EnergyConfig()
+        cpu_freq = (
+            machine_config.cpu_freq_mhz if machine_config is not None else 1000
+        )
+        model = WattchModel(
+            cpu_freq_mhz=cpu_freq,
+            supply_voltage=energy_config.supply_voltage,
+        )
+        compute = model.power(ActivityProfile.typical())
+        tdp = calibrate_tdp_max(model).tdp_max_watts
+        return cls(
+            compute_watts=compute,
+            spin_watts=energy_config.spin_power_factor * compute,
+            tdp_max_watts=tdp,
+        )
+
+    def sleep_watts(self, state):
+        """Residency power of a sleep state (ratio of TDPmax)."""
+        return state.residency_power(self.tdp_max_watts)

@@ -1,0 +1,97 @@
+"""Time-sharing support (paper Section 3.4.1).
+
+In an over-threaded application (more threads than CPUs) or a
+multiprogrammed system, a thread that reaches a synchronization point
+may *yield* its CPU to another runnable thread instead of spinning.
+The paper discusses this as an alternative way to avoid spin waste —
+one that risks performance, because when the barrier is finally
+released some threads may not have a CPU to resume on.
+
+:class:`CpuToken` models the scheduler's per-CPU run permission: a FIFO
+queue with a context-switch cost on every hand-off to a different
+thread. A thread must hold its node's token while computing; releasing
+it at a barrier lets a co-scheduled sibling run.
+"""
+
+from collections import deque
+
+from repro.energy.accounting import Category
+from repro.errors import SimulationError
+
+#: OS context-switch cost (register/TLB state, scheduler work).
+DEFAULT_CONTEXT_SWITCH_NS = 5_000
+
+
+class CpuToken:
+    """FIFO run permission for one CPU shared by several threads."""
+
+    def __init__(self, node, context_switch_ns=DEFAULT_CONTEXT_SWITCH_NS):
+        if context_switch_ns < 0:
+            raise SimulationError("context switch cost must be >= 0")
+        self.node = node
+        self.sim = node.sim
+        self.context_switch_ns = context_switch_ns
+        self._owner = None
+        self._last_owner = None
+        self._waiters = deque()
+        self.stats_switches = 0
+        self.stats_handoffs = 0
+
+    @property
+    def owner(self):
+        return self._owner
+
+    def acquire(self, thread_id):
+        """Hold the CPU; pays a context switch when ownership moves to a
+        different thread than the one that ran last. Generator."""
+        if self._owner == thread_id:
+            return
+        if self._owner is not None or self._waiters:
+            ticket = self.sim.event()
+            self._waiters.append((thread_id, ticket))
+            yield ticket
+            # Ownership was assigned by release(); fall through.
+        else:
+            self._owner = thread_id
+        if self._owner != thread_id:
+            raise SimulationError("token handoff corrupted")
+        if self._last_owner is not None and self._last_owner != thread_id:
+            self.stats_switches += 1
+            yield self.sim.timeout(self.context_switch_ns)
+            self.node.cpu.account.add(
+                Category.COMPUTE,
+                self.context_switch_ns,
+                power_watts=self.node.cpu.power.compute_watts,
+            )
+        self._last_owner = thread_id
+
+    def release(self, thread_id):
+        """Give the CPU up (at a barrier or on completion)."""
+        if self._owner != thread_id:
+            raise SimulationError(
+                "thread {} released a token owned by {}".format(
+                    thread_id, self._owner
+                )
+            )
+        if self._waiters:
+            next_thread, ticket = self._waiters.popleft()
+            self._owner = next_thread
+            self.stats_handoffs += 1
+            ticket.succeed()
+        else:
+            self._owner = None
+
+
+def make_tokens(system, threads_per_cpu, context_switch_ns=None):
+    """Tokens for an over-threaded run: thread ``t`` runs on node
+    ``t % n_nodes``. Returns ``(tokens_by_thread, nodes_by_thread)``."""
+    if threads_per_cpu < 1:
+        raise SimulationError("threads_per_cpu must be >= 1")
+    kwargs = {}
+    if context_switch_ns is not None:
+        kwargs["context_switch_ns"] = context_switch_ns
+    per_node = [CpuToken(node, **kwargs) for node in system.nodes]
+    n_threads = threads_per_cpu * system.n_nodes
+    tokens = {t: per_node[t % system.n_nodes] for t in range(n_threads)}
+    nodes = {t: system.nodes[t % system.n_nodes] for t in range(n_threads)}
+    return tokens, nodes

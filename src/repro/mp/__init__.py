@@ -1,0 +1,29 @@
+"""Message-passing environment (paper Sections 2 and 7).
+
+The paper notes the thrifty idea "is conceptually viable in other
+environments such as message-passing machines" and lists that transfer
+as future work. This package carries it out on the same simulated
+hardware:
+
+* :mod:`repro.mp.endpoint` — per-rank message endpoints over the
+  hypercube network (tagged send/receive, FIFO matching, an interrupt
+  line the NIC raises on arrival);
+* :mod:`repro.mp.barrier` — a flat gather/broadcast barrier in two
+  flavours: spin-waiting (conventional) and thrifty. With no shared
+  memory, the root measures the barrier interval time on its local
+  clock and **piggybacks it on the release broadcast**; every rank
+  trains a local predictor from the piggybacked values and sleeps
+  through its predicted stall, woken by the NIC interrupt (external)
+  or its countdown timer (internal) — the same hybrid structure as the
+  shared-memory thrifty barrier.
+"""
+
+from repro.mp.barrier import MpBarrier, ThriftyMpBarrier
+from repro.mp.endpoint import MessageEndpoint, make_endpoints
+
+__all__ = [
+    "MessageEndpoint",
+    "MpBarrier",
+    "ThriftyMpBarrier",
+    "make_endpoints",
+]

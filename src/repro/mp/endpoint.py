@@ -1,0 +1,127 @@
+"""Per-rank message endpoints over the simulated network.
+
+A minimal MPI-like layer: tagged point-to-point messages with FIFO
+matching per (source-agnostic) tag, delivery latency from the hypercube
+model, a small injection/extraction CPU cost, and an *interrupt line*
+that observers (the thrifty MP barrier's sleep logic) can arm to be
+woken on any arrival — the NIC-interrupt analog of the cache
+controller's flag monitor.
+"""
+
+from collections import deque
+
+from repro.energy.accounting import Category
+from repro.errors import SimulationError
+
+#: CPU cost to marshal/inject or extract one message.
+INJECT_NS = 200
+EXTRACT_NS = 200
+
+
+class MessageEndpoint:
+    """One rank's NIC: tagged queues plus an arrival interrupt."""
+
+    def __init__(self, system, rank):
+        if not 0 <= rank < system.n_nodes:
+            raise SimulationError("rank {} out of range".format(rank))
+        self.system = system
+        self.sim = system.sim
+        self.rank = rank
+        self.node = system.nodes[rank]
+        self._queues = {}     # tag -> deque of payloads
+        self._waiters = {}    # tag -> deque of events
+        self._interrupts = []
+        self.stats_sent = 0
+        self.stats_received = 0
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, peers, dst_rank, tag, payload=None, size_bytes=64):
+        """Send to ``dst_rank``; returns after local injection.
+
+        Delivery happens asynchronously after the wire latency; the
+        injection cost is charged to this rank's Compute.
+        """
+        destination = peers[dst_rank]
+        self.stats_sent += 1
+        yield from self.node.cpu.mem_op_as(
+            Category.COMPUTE, _busy(self.sim, INJECT_NS)
+        )
+        network = self.system.memsys.network
+        network.send(
+            self.rank, dst_rank,
+            destination._deliver, tag, payload,
+            size_bytes=size_bytes,
+        )
+
+    def _deliver(self, tag, payload):
+        """Called by the network at arrival time."""
+        waiters = self._waiters.get(tag)
+        if waiters:
+            waiters.popleft().succeed(payload)
+        else:
+            self._queues.setdefault(tag, deque()).append(payload)
+        interrupts, self._interrupts = self._interrupts, []
+        for event in interrupts:
+            if not event.triggered:
+                event.succeed(tag)
+
+    # -- receiving -----------------------------------------------------
+
+    def try_recv(self, tag):
+        """Non-blocking: ``(True, payload)`` or ``(False, None)``."""
+        queue = self._queues.get(tag)
+        if queue:
+            return True, queue.popleft()
+        return False, None
+
+    def recv(self, tag, spin=True):
+        """Receive one message with the given tag (generator).
+
+        With ``spin=True`` the waiting time is charged as Spin (the
+        polling receive loop of a conventional runtime); with
+        ``spin=False`` nothing is charged (the caller accounts for the
+        wait itself, e.g. as sleep residency).
+        """
+        ready, payload = self.try_recv(tag)
+        if not ready:
+            ticket = self.sim.event()
+            self._waiters.setdefault(tag, deque()).append(ticket)
+            if spin:
+                payload = None
+                started = self.sim.now
+                value = yield ticket
+                self.node.cpu.account.add(
+                    Category.SPIN,
+                    self.sim.now - started,
+                    power_watts=self.node.cpu.power.spin_watts,
+                )
+                payload = value
+            else:
+                payload = yield ticket
+        self.stats_received += 1
+        yield from self.node.cpu.mem_op_as(
+            Category.COMPUTE, _busy(self.sim, EXTRACT_NS)
+        )
+        return payload
+
+    def arm_interrupt(self):
+        """An event the NIC succeeds on the *next* arrival (any tag)."""
+        event = self.sim.event()
+        self._interrupts.append(event)
+        return event
+
+    def pending(self, tag):
+        """Queued (unreceived) message count for a tag."""
+        return len(self._queues.get(tag, ()))
+
+
+def make_endpoints(system, n_ranks=None):
+    """One endpoint per rank on the first ``n_ranks`` nodes."""
+    n_ranks = n_ranks or system.n_nodes
+    return [MessageEndpoint(system, rank) for rank in range(n_ranks)]
+
+
+def _busy(sim, duration_ns):
+    yield sim.timeout(duration_ns)
+    return None

@@ -1,0 +1,77 @@
+"""Predictor interface.
+
+A predictor maps a barrier identifier — the barrier's PC in SPMD codes,
+or the barrier structure's address in the general case (Section 3.2) —
+to a predicted barrier interval time. Entries carry per-thread disable
+bits, set by the overprediction cut-off of Section 3.3.3.
+"""
+
+import abc
+
+from repro.errors import ConfigError
+
+
+class PredictorStats:
+    """Bookkeeping shared by all predictor implementations."""
+
+    def __init__(self):
+        self.predictions = 0
+        self.cold_misses = 0
+        self.updates = 0
+        self.filtered_updates = 0
+        self.disables = 0
+
+
+class Predictor(abc.ABC):
+    """PC-indexed barrier-interval-time predictor."""
+
+    def __init__(self):
+        self._disabled = {}  # pc -> set of thread ids
+        self.stats = PredictorStats()
+
+    @abc.abstractmethod
+    def _lookup(self, pc):
+        """The raw prediction for ``pc`` in ns, or None when cold."""
+
+    @abc.abstractmethod
+    def _train(self, pc, bit_ns):
+        """Fold an observed BIT into the entry for ``pc``."""
+
+    def predict(self, pc):
+        """Predicted BIT in ns, or None when no history exists."""
+        value = self._lookup(pc)
+        if value is None:
+            self.stats.cold_misses += 1
+        else:
+            self.stats.predictions += 1
+        return value
+
+    def peek(self, pc):
+        """Current prediction without touching the statistics (used by
+        the underprediction filter on the update path)."""
+        return self._lookup(pc)
+
+    def update(self, pc, bit_ns):
+        """Record an observed barrier interval time."""
+        if bit_ns < 0:
+            raise ConfigError("BIT must be non-negative")
+        self.stats.updates += 1
+        self._train(pc, bit_ns)
+
+    def note_filtered_update(self):
+        """An update was skipped by the underprediction filter."""
+        self.stats.filtered_updates += 1
+
+    def disable(self, pc, thread_id):
+        """Set the per-thread disable bit (overprediction cut-off)."""
+        threads = self._disabled.setdefault(pc, set())
+        if thread_id not in threads:
+            threads.add(thread_id)
+            self.stats.disables += 1
+
+    def is_disabled(self, pc, thread_id):
+        """True when this thread must not sleep at this barrier again."""
+        return thread_id in self._disabled.get(pc, ())
+
+    def disabled_threads(self, pc):
+        return frozenset(self._disabled.get(pc, ()))

@@ -1,0 +1,72 @@
+"""A confidence-gated predictor (paper Section 3.3.3).
+
+The paper keeps its cut-off mechanism deliberately simple and notes
+that "more complex solutions with sophisticated predictors and/or
+confidence estimators are possible". This wrapper is that option: a
+saturating per-entry confidence counter gates an inner predictor —
+predictions are only issued once recent observations have repeatedly
+confirmed the entry, and a surprise (observation far from the running
+prediction) drops the confidence, silencing the entry until it proves
+itself again.
+
+Unlike the cut-off (permanent, per-thread), confidence is adaptive and
+shared: an Ocean-style barrier whose intervals stabilize later in the
+run can re-earn its predictions.
+"""
+
+from repro.errors import ConfigError
+from repro.predict.base import Predictor
+
+
+class ConfidencePredictor(Predictor):
+    """Gate ``inner`` behind a saturating confidence counter.
+
+    Parameters
+    ----------
+    inner:
+        The predictor producing values (e.g.
+        :class:`~repro.predict.LastValuePredictor`).
+    threshold:
+        Minimum confidence at which predictions are issued.
+    maximum:
+        Saturation value of the counter.
+    tolerance:
+        Relative error under which an observation counts as confirming
+        the current prediction.
+    """
+
+    def __init__(self, inner, threshold=2, maximum=3, tolerance=0.25):
+        super().__init__()
+        if not isinstance(inner, Predictor):
+            raise ConfigError("inner must be a Predictor")
+        if not 0 < threshold <= maximum:
+            raise ConfigError("need 0 < threshold <= maximum")
+        if tolerance <= 0:
+            raise ConfigError("tolerance must be positive")
+        self.inner = inner
+        self.threshold = threshold
+        self.maximum = maximum
+        self.tolerance = tolerance
+        self._confidence = {}
+
+    def confidence(self, pc):
+        """Current counter value for an entry (0 when never seen)."""
+        return self._confidence.get(pc, 0)
+
+    def _lookup(self, pc):
+        if self.confidence(pc) < self.threshold:
+            return None
+        return self.inner.peek(pc)
+
+    def _train(self, pc, bit_ns):
+        previous = self.inner.peek(pc)
+        if previous is None:
+            # First observation: seed the inner table, start at 1.
+            self._confidence[pc] = 1
+        elif abs(bit_ns - previous) <= self.tolerance * max(previous, 1):
+            self._confidence[pc] = min(
+                self.maximum, self.confidence(pc) + 1
+            )
+        else:
+            self._confidence[pc] = max(0, self.confidence(pc) - 1)
+        self.inner.update(pc, bit_ns)

@@ -1,0 +1,74 @@
+"""Concrete BIT predictors.
+
+The paper found simple PC-indexed *last-value* prediction accurate for
+most applications; the moving-average and exponentially-weighted
+variants exist for the predictor ablation benchmark (they trade reaction
+speed against noise immunity — relevant for Ocean's swinging interval
+times, Section 5.2).
+"""
+
+from collections import deque
+
+from repro.errors import ConfigError
+from repro.predict.base import Predictor
+
+
+class LastValuePredictor(Predictor):
+    """Predict the value measured at the last occurrence (the paper's)."""
+
+    def __init__(self):
+        super().__init__()
+        self._table = {}
+
+    def _lookup(self, pc):
+        return self._table.get(pc)
+
+    def _train(self, pc, bit_ns):
+        self._table[pc] = bit_ns
+
+
+class MovingAveragePredictor(Predictor):
+    """Predict the mean of the last ``window`` observations."""
+
+    def __init__(self, window=4):
+        super().__init__()
+        if window < 1:
+            raise ConfigError("window must be at least 1")
+        self.window = window
+        self._history = {}
+
+    def _lookup(self, pc):
+        history = self._history.get(pc)
+        if not history:
+            return None
+        return int(round(sum(history) / len(history)))
+
+    def _train(self, pc, bit_ns):
+        history = self._history.setdefault(pc, deque(maxlen=self.window))
+        history.append(bit_ns)
+
+
+class ExponentialPredictor(Predictor):
+    """Exponentially weighted moving average with smoothing ``alpha``."""
+
+    def __init__(self, alpha=0.5):
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._table = {}
+
+    def _lookup(self, pc):
+        value = self._table.get(pc)
+        if value is None:
+            return None
+        return int(round(value))
+
+    def _train(self, pc, bit_ns):
+        previous = self._table.get(pc)
+        if previous is None:
+            self._table[pc] = float(bit_ns)
+        else:
+            self._table[pc] = (
+                self.alpha * bit_ns + (1.0 - self.alpha) * previous
+            )

@@ -1,0 +1,45 @@
+"""Misprediction thresholds (Sections 3.3.3 and 3.4.2).
+
+*Overprediction cut-off*: a thread that wakes up after the barrier was
+released incurred a penalty equal to the difference between its wake-up
+timestamp and its local barrier-release timestamp. If the penalty
+exceeds a threshold fraction (10% in the paper) of the barrier interval
+time, prediction is disabled for that thread at that barrier.
+
+*Underprediction filter*: an inordinately long observed interval
+(context switch, I/O, page fault) must not poison the predictor — the
+update is skipped when the observation exceeds the prediction by more
+than a factor.
+"""
+
+from repro.errors import ConfigError
+
+
+def is_overpredicted(wakeup_ts_ns, release_ts_ns, bit_ns, threshold=0.10):
+    """True when the late-wake penalty warrants disabling prediction.
+
+    Parameters mirror Section 3.3.3: ``wakeup_ts_ns`` is the thread's
+    recorded wake-up timestamp, ``release_ts_ns`` its local barrier
+    release timestamp (BRTS), and ``bit_ns`` the barrier interval time
+    the penalty is judged against.
+    """
+    if threshold <= 0:
+        raise ConfigError("threshold must be positive")
+    penalty = wakeup_ts_ns - release_ts_ns
+    if penalty <= 0:
+        return False
+    return penalty > threshold * bit_ns
+
+
+def should_update_predictor(predicted_bit_ns, observed_bit_ns, factor=4.0):
+    """Underprediction filter: False when the observation is inordinate.
+
+    With no prior prediction (cold entry) the update always proceeds.
+    """
+    if factor <= 1.0:
+        raise ConfigError("underprediction factor must exceed 1")
+    if predicted_bit_ns is None:
+        return True
+    if predicted_bit_ns <= 0:
+        return True
+    return observed_bit_ns <= factor * predicted_bit_ns

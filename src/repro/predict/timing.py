@@ -1,0 +1,88 @@
+"""BRTS/BIT/BST bookkeeping without a global clock (Section 3.2.1).
+
+Per application there is **one** shared BIT location (written by the last
+thread to arrive at each barrier instance) and, per thread, a local
+barrier-release timestamp (BRTS). The induction:
+
+* at arrival, a thread's compute time for the interval is
+  ``now - BRTS[t]`` on its local clock;
+* an early thread estimates its wake-up time as ``BRTS[t] + predict(BIT)``
+  and hence its stall as that minus ``now``;
+* the last thread measures the actual ``BIT = now - BRTS[t]`` and
+  publishes it;
+* once awake, every thread advances ``BRTS[t] += BIT``.
+
+All processors share the nominal clock frequency (paper assumption 1),
+which the simulator guarantees trivially; no thread ever reads another
+thread's clock.
+"""
+
+from repro.errors import SimulationError
+
+
+class TimingDomain:
+    """Timing state shared by all barriers of one application."""
+
+    def __init__(self, system, n_threads, predictor=None):
+        if n_threads < 1:
+            raise SimulationError("need at least one thread")
+        self.sim = system.sim
+        self.n_threads = n_threads
+        self.predictor = predictor
+        #: The shared BIT variable (one cache line of its own).
+        self.bit_addr = system.alloc_shared()
+        #: Local barrier-release timestamps, one per thread. Zero
+        #: initially; the first instance is handled conventionally as
+        #: warm-up, so the zeros never feed a sleep decision.
+        self._brts = [0] * n_threads
+        #: Global barrier-instance sequence number (meta-instrumentation).
+        self.instances_released = 0
+
+    def brts(self, thread_id):
+        """The thread's local release timestamp of the last instance."""
+        return self._brts[thread_id]
+
+    def compute_time(self, thread_id):
+        """Compute time of the current interval, measured at arrival."""
+        elapsed = self.sim.now - self._brts[thread_id]
+        if elapsed < 0:
+            raise SimulationError("local clock ran backwards")
+        return elapsed
+
+    def estimate(self, pc, thread_id):
+        """Predicted (wake-up time, stall time) for an early arriver.
+
+        Returns ``(None, None)`` when the predictor is cold for this
+        barrier or prediction is disabled for this thread.
+        """
+        if self.predictor is None:
+            return None, None
+        if self.predictor.is_disabled(pc, thread_id):
+            return None, None
+        predicted_bit = self.predictor.predict(pc)
+        if predicted_bit is None:
+            return None, None
+        wake_ts = self._brts[thread_id] + predicted_bit
+        stall = wake_ts - self.sim.now
+        return wake_ts, stall
+
+    def measure_bit(self, thread_id):
+        """The actual BIT, measured by the last thread on arrival."""
+        return self.sim.now - self._brts[thread_id]
+
+    def advance(self, thread_id, bit_ns):
+        """Advance BRTS after the barrier: ``BRTS[t] += BIT``.
+
+        Returns the new BRTS — the thread's local timestamp for the
+        release of the instance just passed.
+        """
+        if bit_ns < 0:
+            raise SimulationError("BIT must be non-negative")
+        self._brts[thread_id] += bit_ns
+        return self._brts[thread_id]
+
+    def record_observed_release(self, thread_id):
+        """Warm-up path: a spinning thread saw the flag flip *now* and
+        records its local timestamp directly (Section 3.2.1)."""
+        self._brts[thread_id] = self.sim.now
+        return self._brts[thread_id]

@@ -1,0 +1,147 @@
+"""The event loop at the heart of the simulator.
+
+The :class:`Simulator` owns a priority queue of ``(time, sequence)``-ordered
+callbacks. Everything else in the package — coherence transactions, CPU
+sleep transitions, barrier releases — is expressed as callbacks or as
+generator processes resumed by callbacks.
+"""
+
+import heapq
+import itertools
+import operator
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+
+class Handle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "armed"
+        return "Handle(t={}, seq={}, {})".format(self.time, self.seq, state)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with integer time.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable invoked as ``trace(now, fn, args)`` before each
+        callback runs; useful for debugging schedules in tests.
+    """
+
+    def __init__(self, trace=None):
+        self._queue = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._trace = trace
+        self._running = False
+
+    @property
+    def now(self):
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def pending(self):
+        """Number of scheduled (non-cancelled) callbacks still queued."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def schedule(self, delay, fn, *args):
+        """Run ``fn(*args)`` after ``delay`` ns; returns a :class:`Handle`."""
+        delay = operator.index(delay)
+        if delay < 0:
+            raise SchedulingError("cannot schedule in the past: {}".format(delay))
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time, fn, *args):
+        """Run ``fn(*args)`` at absolute time ``time``."""
+        time = operator.index(time)
+        if time < self._now:
+            raise SchedulingError(
+                "cannot schedule at {} before now {}".format(time, self._now)
+            )
+        handle = Handle(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def event(self):
+        """Create a fresh, untriggered :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """Create a :class:`Timeout` that triggers ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator, name=None):
+        """Start a generator process; returns its :class:`Process` event."""
+        return Process(self, generator, name=name)
+
+    def step(self):
+        """Run the single earliest callback; returns False if queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            if self._trace is not None:
+                self._trace(self._now, handle.fn, handle.args)
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next callback would run strictly after this time
+            (the clock is advanced to ``until`` in that case).
+        max_events:
+            Safety valve for tests: raise :class:`SchedulingError` if more
+            than this many callbacks execute.
+        """
+        if self._running:
+            raise SchedulingError("run() called re-entrantly")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = max(self._now, operator.index(until))
+                    return
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SchedulingError(
+                        "exceeded max_events={}".format(max_events)
+                    )
+            if until is not None:
+                self._now = max(self._now, operator.index(until))
+        finally:
+            self._running = False

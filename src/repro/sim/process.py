@@ -1,0 +1,71 @@
+"""Generator-based simulation processes.
+
+A process is a generator that yields :class:`~repro.sim.events.Event`
+objects. The process suspends until the yielded event triggers; the event's
+value is sent back into the generator. Subroutines compose with
+``yield from`` and their return value flows back to the caller.
+
+A :class:`Process` is itself an event: it succeeds with the generator's
+return value, so processes can wait on each other (``yield other_process``).
+"""
+
+from repro.errors import ProcessError
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """Drives a generator to completion over simulated time."""
+
+    def __init__(self, sim, generator, name=None):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise ProcessError(
+                "spawn() requires a generator, got {!r}".format(generator)
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Start on the next scheduling round at the current time so that
+        # spawning is side-effect free at the call site.
+        sim.schedule(0, self._resume, None, None)
+
+    def _resume(self, value, exception):
+        try:
+            if exception is not None:
+                target = self.generator.throw(exception)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into event
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = ProcessError(
+                "process {!r} yielded {!r}; processes must yield Event "
+                "instances".format(self.name, target)
+            )
+            # Deliver the error into the generator so it can clean up,
+            # then record the failure on the process event.
+            try:
+                self.generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001
+                self.fail(exc)
+                return
+            self.fail(error)
+            return
+        target.add_callback(self._wake)
+
+    def _wake(self, event):
+        if event.exception is not None:
+            self._resume(None, event.exception)
+        else:
+            self._resume(event.value, None)
+
+    def __repr__(self):
+        return "Process({!r}, {})".format(
+            self.name, "done" if self.triggered else "running"
+        )

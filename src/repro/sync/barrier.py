@@ -1,0 +1,202 @@
+"""The conventional sense-reversal barrier (paper Figure 2).
+
+Also home to :class:`BarrierBase`, the machinery every barrier variant
+shares: the check-in critical section, the coherence-driven flag spin,
+trace instrumentation, and the BRTS bookkeeping hooks.
+"""
+
+from repro.energy.accounting import Category
+from repro.errors import SimulationError
+from repro.sync.trace import BarrierTrace
+
+
+class BarrierBase:
+    """Shared structure of all barrier variants.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.machine.System` hosting the threads.
+    domain:
+        The application's :class:`~repro.predict.TimingDomain` (BRTS and
+        shared-BIT bookkeeping). Required; the Baseline configuration
+        simply leaves its predictor unused.
+    n_threads:
+        Number of participating threads.
+    pc:
+        Static identity of this barrier — the "program counter" used to
+        index the predictor in SPMD codes (Section 3.2).
+    trace:
+        Optional shared :class:`~repro.sync.trace.BarrierTrace`.
+    """
+
+    #: Set by over-threaded variants (more threads than CPUs,
+    #: Section 3.4.1); the dedicated-mode variants keep one per node.
+    allow_overthreading = False
+
+    def __init__(self, system, domain, n_threads, pc, trace=None):
+        if n_threads < 1 or (
+            n_threads > system.n_nodes and not self.allow_overthreading
+        ):
+            raise SimulationError(
+                "n_threads={} invalid for {} nodes".format(
+                    n_threads, system.n_nodes
+                )
+            )
+        self.system = system
+        self.sim = system.sim
+        self.memsys = system.memsys
+        self.domain = domain
+        self.n_threads = n_threads
+        self.pc = pc
+        self.trace = trace if trace is not None else BarrierTrace()
+        self.count_addr = system.alloc_shared()
+        self.flag_addr = system.alloc_shared()
+        self._local_sense = [0] * max(system.n_nodes, n_threads)
+
+    # -- pieces used by every variant ---------------------------------------
+
+    def _flip_sense(self, thread_id):
+        sense = 1 - self._local_sense[thread_id]
+        self._local_sense[thread_id] = sense
+        return sense
+
+    def _check_in(self, node, thread_id=None):
+        """Check in: ``count++`` (S1 in Figure 2).
+
+        Figure 2 guards the increment with ``lock(c)``; barrier
+        libraries implement the same critical section as a single atomic
+        fetch-and-increment, which is what the memory system's RMW
+        transaction provides (the directory serializes contenders on the
+        count line exactly as the lock would, at one transaction instead
+        of three). Returns ``(is_last, record)``; the instance record is
+        opened by the first arriver. ``thread_id`` defaults to the
+        node id (dedicated mode, one thread per CPU).
+        """
+        if thread_id is None:
+            thread_id = node.node_id
+        record = self.trace.current(self.pc)
+        if record is None:
+            record = self.trace.open_instance(self.pc)
+        record.arrivals.setdefault(thread_id, self.sim.now)
+        count = yield from node.cpu.mem_op_as(
+            Category.SPIN,
+            self.memsys.rmw(node.node_id, self.count_addr, lambda v: v + 1),
+        )
+        is_last = (count + 1) == self.n_threads
+        if is_last:
+            yield from node.cpu.mem_op_as(
+                Category.SPIN,
+                self.memsys.store(node.node_id, self.count_addr, 0),
+            )
+        return is_last, record
+
+    def _release(self, node, sense, record, thread_id=None):
+        """Last thread: flip the flag, waking spinners/monitors.
+
+        The flag write's invalidations are the external wake-up signal
+        of Section 3.3.1.
+        """
+        record.release_ts = self.sim.now
+        record.last_thread = node.node_id if thread_id is None else thread_id
+        self.domain.instances_released += 1
+        yield from node.cpu.mem_op_as(
+            Category.SPIN,
+            self.memsys.store(node.node_id, self.flag_addr, sense),
+        )
+        self.trace.close_instance(self.pc)
+
+    def _spin_on_flag(self, node, sense):
+        """Spin-wait until the flag reads ``sense`` (S2 in Figure 2).
+
+        The first read caches a shared copy; the thread then blocks on
+        the controller's invalidation of that line and re-reads a fresh
+        copy — exactly the coherence behaviour the paper describes. The
+        loop also absorbs false wake-ups (re-check, re-arm). Returns the
+        time spent, all charged as Spin.
+        """
+        cpu = node.cpu
+        controller = node.controller
+        started = self.sim.now
+        while True:
+            value = yield from cpu.mem_op_as(
+                Category.SPIN,
+                self.memsys.load(node.node_id, self.flag_addr),
+            )
+            if value == sense:
+                break
+            fired = self.sim.event()
+
+            def on_invalidation(_line, fired=fired):
+                if not fired.triggered:
+                    fired.succeed()
+
+            key = controller.arm_flag_monitor(self.flag_addr, on_invalidation)
+            # The controller "reads the flag in" when armed: if the flip
+            # already landed or the line was invalidated in the same
+            # instant our read completed (that INV's wake-up is lost),
+            # re-read instead of waiting. The re-read serializes behind
+            # the in-flight flag write at the directory and returns the
+            # fresh value.
+            if self._monitor_raced(node, sense):
+                controller.disarm_flag_monitor(key, on_invalidation)
+                continue
+            yield from cpu.spin_until(fired)
+        return self.sim.now - started
+
+    def _monitor_raced(self, node, sense):
+        """True when an armed monitor cannot be trusted: the flag has
+        already flipped, or the flag line is gone from this node's
+        caches (the invalidation that took it fired before the monitor
+        was armed, so its wake-up is lost). In fast (non-detailed)
+        memory mode there are no cached lines and notifications are
+        synthesized from the functional store, so only the value check
+        applies."""
+        if self.memsys.peek(self.flag_addr) == sense:
+            return True
+        if not self.memsys.config.detailed_memory:
+            return False
+        line = self.memsys.line_of(self.flag_addr)
+        return self.memsys.hierarchies[node.node_id].state(line) is None
+
+    def _depart(self, node, record, thread_id=None):
+        thread_id = node.node_id if thread_id is None else thread_id
+        record.departures[thread_id] = self.sim.now
+
+    def wait(self, node, dirty_lines=0):
+        """Pass the barrier; must be overridden by each variant."""
+        raise NotImplementedError
+
+
+class ConventionalBarrier(BarrierBase):
+    """The sense-reversal spin barrier of Figure 2 (the Baseline).
+
+    Early threads spin at ~85% of compute power until the last arriver
+    flips the flag. Spinning threads record their local release
+    timestamps directly (the warm-up rule of Section 3.2.1), so a
+    conventional barrier keeps the timing domain consistent and can
+    co-exist with thrifty barriers in the same program.
+    """
+
+    def wait(self, node, dirty_lines=0):
+        thread_id = node.node_id
+        sense = self._flip_sense(thread_id)
+        is_last, record = yield from self._check_in(node)
+        if is_last:
+            bit = self.domain.measure_bit(thread_id)
+            record.measured_bit = bit
+            # Publish the BIT for the benefit of any thrifty barrier
+            # sharing the domain, then release.
+            yield from node.cpu.mem_op_as(
+                Category.SPIN,
+                self.memsys.store(
+                    node.node_id, self.domain.bit_addr, bit
+                ),
+            )
+            yield from self._release(node, sense, record)
+            self.domain.record_observed_release(thread_id)
+        else:
+            yield from self._spin_on_flag(node, sense)
+            self.domain.record_observed_release(thread_id)
+        self._depart(node, record)
+        return record

@@ -1,0 +1,111 @@
+"""Exact post-hoc accounting for the oracle configurations.
+
+Oracle-Halt and Ideal (Section 5.1) have perfect BIT prediction: a
+sleeping CPU transitions out so that it resumes exactly at the barrier
+release, and Ideal additionally pays no flush for any state. Neither
+configuration ever perturbs timing relative to Baseline — the paper
+presents them as lower bounds with no performance penalty — so their
+energy can be computed *exactly* by replaying the Baseline run's stall
+intervals:
+
+for each (thread, instance) stall ``S``, the deepest state whose
+round-trip transition fits inside ``S`` sleeps for ``S - round_trip``
+between two linear ramps; if no state fits, the stall stays a spin
+(the "still noticeable Spin" of Section 5.2).
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.energy.accounting import Category, EnergyAccount
+from repro.energy.states import ramp_energy, select_sleep_state
+from repro.errors import SimulationError
+
+
+@dataclass
+class OracleResult:
+    """Accounts and behaviour counters of an oracle replay."""
+
+    accounts: List[EnergyAccount]
+    sleeps_by_state: Counter = field(default_factory=Counter)
+    spin_stalls: int = 0
+    slept_stalls: int = 0
+
+
+def oracle_rerun(trace, cpu_accounts, power, states):
+    """Replay a Baseline run under perfect prediction.
+
+    Parameters
+    ----------
+    trace:
+        The Baseline :class:`~repro.sync.trace.BarrierTrace`.
+    cpu_accounts:
+        Per-CPU Baseline :class:`~repro.energy.EnergyAccount` objects.
+    power:
+        The machine's :class:`~repro.machine.CpuPower`.
+    states:
+        Sleep states available to the oracle — ``(SLEEP1_HALT,)`` for
+        Oracle-Halt, all three for Ideal. Flush costs are zero by
+        construction (Halt snoops; Ideal waives flushing).
+
+    Returns an :class:`OracleResult` whose accounts have identical total
+    time to Baseline's, category by category re-assigned.
+    """
+    stalls_per_thread = {thread: [] for thread in range(len(cpu_accounts))}
+    for record in trace.released_instances():
+        for thread, stall in record.stalls().items():
+            if thread not in stalls_per_thread:
+                raise SimulationError(
+                    "trace mentions thread {} outside the account "
+                    "range".format(thread)
+                )
+            stalls_per_thread[thread].append(stall)
+
+    result = OracleResult(accounts=[])
+    for thread, baseline in enumerate(cpu_accounts):
+        account = EnergyAccount()
+        # Computation is untouched by the barrier policy.
+        account.add(
+            Category.COMPUTE,
+            baseline.time_ns(Category.COMPUTE),
+            energy_joules=baseline.energy_joules(Category.COMPUTE),
+        )
+        stalls = stalls_per_thread[thread]
+        total_stall = sum(stalls)
+        # Check-in operations and detection lag: the (small) part of
+        # Baseline's Spin that is not arrival-to-release stall.
+        overhead_spin = max(
+            0, baseline.time_ns(Category.SPIN) - total_stall
+        )
+        if overhead_spin:
+            account.add(
+                Category.SPIN, overhead_spin, power_watts=power.spin_watts
+            )
+        for stall in stalls:
+            state = select_sleep_state(states, stall, flush_ns=0)
+            if state is None:
+                result.spin_stalls += 1
+                account.add(
+                    Category.SPIN, stall, power_watts=power.spin_watts
+                )
+                continue
+            result.slept_stalls += 1
+            result.sleeps_by_state[state.name] += 1
+            sleep_watts = power.sleep_watts(state)
+            one_way = state.transition_latency_ns
+            account.add(
+                Category.TRANSITION,
+                2 * one_way,
+                energy_joules=(
+                    ramp_energy(power.compute_watts, sleep_watts, one_way)
+                    + ramp_energy(sleep_watts, power.compute_watts, one_way)
+                ),
+            )
+            account.add(
+                Category.SLEEP,
+                stall - state.round_trip_ns,
+                power_watts=sleep_watts,
+            )
+        result.accounts.append(account)
+    return result

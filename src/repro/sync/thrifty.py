@@ -1,0 +1,258 @@
+"""The thrifty barrier (paper Section 3).
+
+An early-arriving thread:
+
+1. checks in (count++ under the lock, Figure 2 S1);
+2. estimates its stall: predicted BIT (PC-indexed last-value) plus its
+   local BRTS gives the estimated wake-up time; minus "now" gives the
+   stall (Section 3.2.1);
+3. asks the sleep library for the deepest sleep state whose round-trip
+   transition — plus flush cost for non-snooping states — fits the
+   estimated stall (Section 3.1); if none fits, or prediction is cold or
+   disabled, it spins conventionally;
+4. otherwise it programs the cache controller: reads the flag (which
+   both checks for an already-released barrier and installs the shared
+   copy whose invalidation is the external wake-up), arms the flag
+   monitor and the countdown timer, and sleeps; the first wake source
+   cancels the other (hybrid wake-up, Section 3.3.2);
+5. after waking it spins residually on the flag (correctness against
+   false/early wake-ups, Section 3.3.1), reads the published BIT,
+   advances its BRTS, and applies the overprediction cut-off
+   (Section 3.3.3).
+
+The last thread to arrive measures the actual BIT on its local clock,
+passes it through the underprediction filter (Section 3.4.2) before
+training the predictor, publishes it in the shared BIT variable (with a
+write fence before the flag flip — free in the simulator, noted for
+fidelity), and releases the barrier.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.config import ThriftyConfig
+from repro.energy.accounting import Category
+from repro.energy.states import select_sleep_state
+from repro.predict.thresholds import is_overpredicted, should_update_predictor
+from repro.sim.events import AnyOf
+from repro.sync.barrier import BarrierBase
+from repro.sync.trace import SleepRecord
+
+#: Cycles spent running the prediction/selection code at check-in — the
+#: "lightweight control algorithm" whose cost Kumar et al. found
+#: negligible; charged as Spin time.
+PREDICTION_OVERHEAD_NS = 40
+
+#: Issue cost of the post-barrier read of the shared BIT variable; the
+#: miss itself overlaps with the computation that follows.
+BIT_READ_OVERHEAD_NS = 24
+
+
+@dataclass
+class ThriftyStats:
+    """Per-barrier behaviour counters."""
+
+    arrivals: int = 0
+    last_arrivals: int = 0
+    sleeps: int = 0
+    sleeps_by_state: dict = field(default_factory=dict)
+    spin_fallbacks: int = 0      # no state fit the predicted slack
+    cold_spins: int = 0          # no prediction available
+    disabled_spins: int = 0      # overprediction cut-off engaged
+    aborted_sleeps: int = 0      # flag already flipped at monitor arming
+    timer_wakes: int = 0
+    invalidation_wakes: int = 0
+    cutoff_disables: int = 0
+    filtered_updates: int = 0
+
+
+class ThriftyBarrier(BarrierBase):
+    """Drop-in replacement for :class:`ConventionalBarrier`."""
+
+    def __init__(
+        self, system, domain, n_threads, pc,
+        config=None, trace=None,
+    ):
+        super().__init__(system, domain, n_threads, pc, trace=trace)
+        self.config = config or ThriftyConfig()
+        self.stats = ThriftyStats()
+
+    # -- the sleep() "library call" of Section 3.1 --------------------------
+
+    def _flush_estimate_ns(self, dirty_lines):
+        machine = self.system.config
+        return machine.flush_base_ns + dirty_lines * machine.flush_per_line_ns
+
+    def _choose_state(self, est_stall_ns, dirty_lines):
+        return select_sleep_state(
+            self.config.sleep_states,
+            est_stall_ns,
+            flush_ns=self._flush_estimate_ns(dirty_lines),
+            conditional=self.config.conditional_sleep,
+        )
+
+    def _sleep(self, node, sense, state, est_wake_ts, dirty_lines, record):
+        """Program the controller and sleep; returns the wake timestamp
+        (None when the sleep was aborted because the barrier had already
+        been released)."""
+        cpu = node.cpu
+        controller = node.controller
+        # The controller reads the flag in: this both checks the value
+        # (abort if already flipped) and installs the shared copy whose
+        # invalidation will wake us.
+        value = yield from cpu.mem_op_as(
+            Category.SPIN,
+            self.memsys.load(node.node_id, self.flag_addr),
+        )
+        if value == sense:
+            self.stats.aborted_sleeps += 1
+            return None
+        wake_sources = []
+        external = None
+        monitor_key = None
+
+        def on_invalidation(_line):
+            if external is not None and not external.triggered:
+                external.succeed()
+
+        if self.config.use_external_wakeup:
+            external = self.sim.event()
+            monitor_key = controller.arm_flag_monitor(
+                self.flag_addr, on_invalidation
+            )
+            # The controller reads the flag in at arming: abort if the
+            # flip already landed, or if the line was invalidated in the
+            # same instant our read completed (that INV's wake-up is
+            # lost, so sleeping now would miss the release).
+            if self._monitor_raced(node, sense):
+                controller.disarm_flag_monitor(monitor_key, on_invalidation)
+                self.stats.aborted_sleeps += 1
+                return None
+            wake_sources.append(external)
+        timer = None
+        timer_handle = None
+        if self.config.use_internal_wakeup:
+            # Anticipate the release: count down to the predicted wake
+            # time minus the exit latency (Section 3.3.2).
+            delay = max(
+                0, est_wake_ts - self.sim.now - state.transition_latency_ns
+            )
+            timer = self.sim.event()
+            timer_handle = controller.arm_wake_timer(delay, timer.succeed)
+            wake_sources.append(timer)
+        wake = AnyOf(self.sim, wake_sources)
+        outcome = yield from cpu.sleep(
+            state, wake, controller=controller, flush_lines=dirty_lines,
+        )
+        # First wake source cancels the other.
+        woke_by = "timer"
+        if external is not None and wake.value is external:
+            woke_by = "invalidation"
+            self.stats.invalidation_wakes += 1
+            if timer_handle is not None:
+                timer_handle.cancel()
+        else:
+            self.stats.timer_wakes += 1
+            if monitor_key is not None:
+                controller.disarm_flag_monitor(monitor_key, on_invalidation)
+        self.stats.sleeps += 1
+        self.stats.sleeps_by_state[state.name] = (
+            self.stats.sleeps_by_state.get(state.name, 0) + 1
+        )
+        record.sleeps[node.node_id] = SleepRecord(
+            state_name=state.name,
+            resident_ns=outcome.resident_ns,
+            flushed_lines=outcome.flushed_lines,
+            woke_by=woke_by,
+        )
+        return self.sim.now
+
+    # -- the barrier itself --------------------------------------------------
+
+    def wait(self, node, dirty_lines=0):
+        thread_id = node.node_id
+        self.stats.arrivals += 1
+        sense = self._flip_sense(thread_id)
+        is_last, record = yield from self._check_in(node)
+        if is_last:
+            yield from self._last_thread_path(node, sense, record)
+            self._depart(node, record)
+            return record
+        # Predict the stall ahead (Section 3.2.1). The table walk and
+        # arithmetic cost a few tens of cycles.
+        yield from node.cpu.mem_op_as(
+            Category.SPIN, _overhead(self.sim, PREDICTION_OVERHEAD_NS)
+        )
+        est_wake_ts, est_stall = self.domain.estimate(self.pc, thread_id)
+        wake_ts = None
+        if est_stall is None:
+            if self.domain.predictor is not None and (
+                self.domain.predictor.is_disabled(self.pc, thread_id)
+            ):
+                self.stats.disabled_spins += 1
+            else:
+                self.stats.cold_spins += 1
+        else:
+            state = self._choose_state(est_stall, dirty_lines)
+            if state is None:
+                self.stats.spin_fallbacks += 1
+            else:
+                wake_ts = yield from self._sleep(
+                    node, sense, state, est_wake_ts, dirty_lines, record
+                )
+        # Residual spin: covers early wake-ups, aborted sleeps, the pure
+        # spin path, and false wake-ups alike (Section 3.3.1).
+        yield from self._spin_on_flag(node, sense)
+        # Read the published BIT and advance the local BRTS. The BIT
+        # value is ordered before the flag flip (footnote 1), and its
+        # read is not on the critical path — the out-of-order core
+        # overlaps it with post-barrier computation — so only its issue
+        # cost is charged.
+        bit = self.memsys.peek(self.domain.bit_addr)
+        yield from node.cpu.mem_op_as(
+            Category.SPIN, _overhead(self.sim, BIT_READ_OVERHEAD_NS)
+        )
+        release_ts = self.domain.advance(thread_id, bit)
+        if wake_ts is not None:
+            penalty = wake_ts - release_ts
+            sleep_record = record.sleeps.get(thread_id)
+            if sleep_record is not None:
+                sleep_record.penalty_ns = max(0, penalty)
+            if is_overpredicted(
+                wake_ts, release_ts, bit,
+                threshold=self.config.overprediction_threshold,
+            ):
+                self.domain.predictor.disable(self.pc, thread_id)
+                self.stats.cutoff_disables += 1
+        self._depart(node, record)
+        return record
+
+    def _last_thread_path(self, node, sense, record):
+        thread_id = node.node_id
+        self.stats.last_arrivals += 1
+        bit = self.domain.measure_bit(thread_id)
+        record.measured_bit = bit
+        predictor = self.domain.predictor
+        if predictor is not None:
+            if should_update_predictor(
+                predictor.peek(self.pc), bit,
+                factor=self.config.underprediction_factor,
+            ):
+                predictor.update(self.pc, bit)
+            else:
+                predictor.note_filtered_update()
+                self.stats.filtered_updates += 1
+        # Publish the BIT; a write fence orders it before the flag flip
+        # under release consistency (footnote 1 of the paper). The
+        # simulator's in-order per-thread execution provides the fence.
+        yield from node.cpu.mem_op_as(
+            Category.SPIN,
+            self.memsys.store(node.node_id, self.domain.bit_addr, bit),
+        )
+        yield from self._release(node, sense, record)
+        self.domain.advance(thread_id, bit)
+
+
+def _overhead(sim, duration_ns):
+    """A fixed-cost pseudo-transaction (prediction code, table walks)."""
+    yield sim.timeout(duration_ns)
+    return None

@@ -1,0 +1,29 @@
+"""Real algorithmic kernels driving trace workloads.
+
+Each module runs an actual parallel algorithm (partitioned the way the
+SPLASH-2 program partitions it), verifies its result, counts every
+thread's work in each phase, and converts the counts into a
+:class:`~repro.workloads.trace_model.TraceWorkload` the simulator can
+execute. Imbalance here *emerges from the data* — a skewed key
+distribution, a clustered particle set — rather than being sampled from
+a statistical model.
+
+* :mod:`repro.workloads.kernels.radix` — LSD radix sort;
+* :mod:`repro.workloads.kernels.fft` — iterative radix-2 FFT;
+* :mod:`repro.workloads.kernels.ocean` — red-black Gauss-Seidel
+  relaxation;
+* :mod:`repro.workloads.kernels.nbody` — O(n^2) gravitational forces
+  over a clustered particle set.
+"""
+
+from repro.workloads.kernels.fft import fft_workload
+from repro.workloads.kernels.nbody import nbody_workload
+from repro.workloads.kernels.ocean import ocean_workload
+from repro.workloads.kernels.radix import radix_workload
+
+__all__ = [
+    "fft_workload",
+    "nbody_workload",
+    "ocean_workload",
+    "radix_workload",
+]

@@ -1,0 +1,107 @@
+"""Iterative radix-2 FFT as a trace workload.
+
+The SPLASH-2 FFT alternates butterfly-compute phases with transpose
+phases, each ended by a one-shot barrier — the "handful of
+non-repeating barriers" that leaves the thrifty predictor cold. We run
+a real decimation-in-time FFT (verified against ``numpy.fft``), with
+the butterfly work of each stage partitioned across threads, and count
+each thread's butterflies.
+"""
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhaseInstance
+from repro.workloads.trace_model import TraceWorkload
+
+#: Simulated cost of one complex butterfly (flops plus strided loads).
+DEFAULT_NS_PER_BUTTERFLY = 40
+
+
+def fft_traced(values, n_threads):
+    """Compute the FFT of ``values`` while counting per-thread work.
+
+    Returns ``(spectrum, stage_counts)`` where ``stage_counts[s]`` is
+    the per-thread butterfly counts of stage ``s``.
+    """
+    data = np.asarray(values, dtype=np.complex128).copy()
+    n = data.size
+    if n < 2 or n & (n - 1):
+        raise WorkloadError("FFT size must be a power of two >= 2")
+    # Bit-reversal permutation.
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    bits = n.bit_length() - 1
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    data = data[reversed_indices]
+    stage_counts = []
+    half = 1
+    while half < n:
+        span = half * 2
+        twiddle = np.exp(-2j * np.pi * np.arange(half) / span)
+        # All butterflies of the stage, blocked across threads.
+        starts = np.arange(0, n, span)
+        for start in starts:
+            upper = data[start:start + half].copy()
+            lower = data[start + half:start + span] * twiddle
+            data[start:start + half] = upper + lower
+            data[start + half:start + span] = upper - lower
+        butterflies = n // 2
+        base = butterflies // n_threads
+        counts = np.full(n_threads, base, dtype=np.int64)
+        counts[: butterflies - base * n_threads] += 1
+        stage_counts.append(counts)
+        half = span
+    return data, stage_counts
+
+
+def fft_workload(
+    n_points=1 << 12, n_threads=16, seed=0,
+    ns_per_butterfly=DEFAULT_NS_PER_BUTTERFLY,
+):
+    """Run the FFT and package per-stage counts as one-shot barriers.
+
+    Stages pair up into compute phases separated by transpose phases
+    (the SPLASH-2 structure); every barrier PC is distinct, so the
+    PC-indexed predictor never warms up on this workload. Returns
+    ``(workload, spectrum)``.
+    """
+    rng = np.random.default_rng(seed)
+    signal = rng.normal(size=n_points) + 1j * rng.normal(size=n_points)
+    spectrum, stage_counts = fft_traced(signal, n_threads)
+    instances = []
+    n_stages = len(stage_counts)
+    group = max(1, n_stages // 3)
+    for index in range(0, n_stages, group):
+        chunk = stage_counts[index:index + group]
+        ops = np.sum(chunk, axis=0)
+        durations = np.maximum(
+            1, (ops * ns_per_butterfly).astype(np.int64)
+        )
+        instances.append(
+            PhaseInstance(
+                pc="fft.compute{}".format(index // group),
+                durations=durations,
+                dirty_lines=64,
+            )
+        )
+        # Transpose between compute groups: every thread exchanges its
+        # block (n/threads points) with the others.
+        transpose_ops = np.full(
+            n_threads, n_points // n_threads, dtype=np.int64
+        )
+        instances.append(
+            PhaseInstance(
+                pc="fft.transpose{}".format(index // group),
+                durations=np.maximum(
+                    1, (transpose_ops * 2).astype(np.int64)
+                ),
+                dirty_lines=96,
+            )
+        )
+    workload = TraceWorkload(
+        "fft-kernel", instances,
+        description="traced radix-2 FFT, {} points".format(n_points),
+    )
+    return workload, spectrum

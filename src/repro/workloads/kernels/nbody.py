@@ -1,0 +1,101 @@
+"""O(n^2) gravitational n-body steps as a trace workload.
+
+Water-Nsq-style structure: per time step, a force phase (all pairs for
+the bodies a thread owns), an integration phase, and an energy
+reduction, each ended by a barrier. Bodies are distributed in clusters,
+so a block partition gives genuinely skewed force costs when paired
+with a cutoff radius — imbalance from the data, not from a sampler.
+"""
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhaseInstance
+from repro.workloads.trace_model import TraceWorkload
+
+#: Simulated cost of one pairwise force evaluation.
+DEFAULT_NS_PER_PAIR = 12
+_SOFTENING = 1e-2
+
+
+def nbody_traced(n_bodies, n_steps, n_threads, cutoff=0.6, seed=0,
+                 dt=1e-3):
+    """Integrate the system, counting per-thread pair evaluations.
+
+    Pairs farther apart than ``cutoff`` are skipped (the source of
+    data-dependent imbalance under clustering). Returns
+    ``(positions, energies, phases)``.
+    """
+    if n_bodies < 2:
+        raise WorkloadError("need at least two bodies")
+    rng = np.random.default_rng(seed)
+    # Two clusters of different density.
+    half = n_bodies // 2
+    positions = np.concatenate(
+        [
+            rng.normal(loc=0.0, scale=0.15, size=(half, 2)),
+            rng.normal(loc=1.0, scale=0.45, size=(n_bodies - half, 2)),
+        ]
+    )
+    velocities = np.zeros_like(positions)
+    masses = np.full(n_bodies, 1.0 / n_bodies)
+    base = n_bodies // n_threads
+    owned = np.full(n_threads, base, dtype=np.int64)
+    owned[: n_bodies - base * n_threads] += 1
+    bounds = np.concatenate(([0], np.cumsum(owned)))
+    phases = []
+    energies = []
+    for _step in range(n_steps):
+        delta = positions[:, None, :] - positions[None, :, :]
+        dist2 = (delta ** 2).sum(axis=-1) + _SOFTENING
+        within = dist2 <= cutoff ** 2
+        np.fill_diagonal(within, False)
+        inv = within / (dist2 * np.sqrt(dist2))
+        forces = (
+            delta * inv[..., None] * masses[None, :, None]
+        ).sum(axis=1) * -1.0
+        pair_counts = np.array(
+            [
+                within[bounds[t]:bounds[t + 1]].sum()
+                for t in range(n_threads)
+            ],
+            dtype=np.int64,
+        )
+        phases.append(("nbody.forces", pair_counts))
+        velocities += dt * forces
+        positions += dt * velocities
+        phases.append(("nbody.advance", owned * 4))
+        kinetic = 0.5 * (masses * (velocities ** 2).sum(axis=1)).sum()
+        energies.append(kinetic)
+        phases.append(("nbody.energy", owned + 8))
+    return positions, energies, phases
+
+
+def nbody_workload(
+    n_bodies=512, n_steps=8, n_threads=16, cutoff=0.6, seed=0,
+    ns_per_pair=DEFAULT_NS_PER_PAIR,
+):
+    """Run the integration; package the counts as a workload.
+
+    Returns ``(workload, kinetic_energy_history)``.
+    """
+    _pos, energies, phases = nbody_traced(
+        n_bodies, n_steps, n_threads, cutoff=cutoff, seed=seed
+    )
+    instances = [
+        PhaseInstance(
+            pc=name,
+            durations=np.maximum(
+                1, (np.asarray(ops) * ns_per_pair).astype(np.int64)
+            ),
+            dirty_lines=96,
+        )
+        for name, ops in phases
+    ]
+    workload = TraceWorkload(
+        "nbody-kernel", instances,
+        description="traced O(n^2) n-body, {} bodies, {} steps".format(
+            n_bodies, n_steps
+        ),
+    )
+    return workload, energies

@@ -1,0 +1,105 @@
+"""Red-black Gauss-Seidel relaxation as a trace workload.
+
+Ocean's inner solver sweeps a grid in red/black half-iterations until
+the residual drops below a tolerance, with a barrier after each color
+sweep and after the residual reduction. We run the real solver on a
+Poisson problem (verified to converge), partition rows across threads,
+and count each thread's stencil updates. The *number of sweeps is data
+dependent*, so the barrier count itself emerges from the computation.
+"""
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhaseInstance
+from repro.workloads.trace_model import TraceWorkload
+
+#: Simulated cost of one 5-point stencil update (five loads, a store).
+DEFAULT_NS_PER_UPDATE = 25
+
+
+def relax_traced(grid_size, n_threads, tolerance=1e-3, max_sweeps=2000,
+                 seed=0):
+    """Solve a Poisson problem by red-black relaxation, counting work.
+
+    Returns ``(solution, residuals, sweep_counts)`` where
+    ``sweep_counts`` is a list of per-thread update counts, one entry
+    per half-sweep plus one per residual reduction.
+    """
+    if grid_size < 4:
+        raise WorkloadError("grid too small")
+    rng = np.random.default_rng(seed)
+    grid = np.zeros((grid_size, grid_size))
+    source = rng.normal(size=(grid_size, grid_size)) / grid_size
+    interior = slice(1, grid_size - 1)
+    # Row-block partition of the interior.
+    rows = grid_size - 2
+    base = rows // n_threads
+    row_counts = np.full(n_threads, base, dtype=np.int64)
+    row_counts[: rows - base * n_threads] += 1
+    phases = []
+    residuals = []
+    for _sweep in range(max_sweeps):
+        for color in (0, 1):
+            mask = np.zeros_like(grid, dtype=bool)
+            ii, jj = np.meshgrid(
+                np.arange(1, grid_size - 1),
+                np.arange(1, grid_size - 1),
+                indexing="ij",
+            )
+            mask[interior, interior] = ((ii + jj) % 2) == color
+            neighbors = (
+                np.roll(grid, 1, axis=0) + np.roll(grid, -1, axis=0)
+                + np.roll(grid, 1, axis=1) + np.roll(grid, -1, axis=1)
+            )
+            grid[mask] = 0.25 * (neighbors[mask] - source[mask])
+            # Per-thread updates: half the cells of each row block.
+            updates = row_counts * (grid_size - 2) // 2
+            phases.append(("ocean.sweep{}".format(color), updates))
+        residual = np.abs(
+            4 * grid[interior, interior]
+            - grid[:-2, 1:-1] - grid[2:, 1:-1]
+            - grid[1:-1, :-2] - grid[1:-1, 2:]
+            + source[interior, interior]
+        ).max()
+        residuals.append(residual)
+        phases.append(
+            ("ocean.residual", row_counts * (grid_size - 2) // 8 + 4)
+        )
+        if residual < tolerance:
+            break
+    else:
+        raise WorkloadError(
+            "relaxation did not converge in {} sweeps".format(max_sweeps)
+        )
+    return grid, residuals, phases
+
+
+def ocean_workload(
+    grid_size=66, n_threads=16, tolerance=2e-3, seed=0,
+    ns_per_update=DEFAULT_NS_PER_UPDATE,
+):
+    """Run the solver; package the update counts as a workload.
+
+    Returns ``(workload, residual_history)``.
+    """
+    _grid, residuals, phases = relax_traced(
+        grid_size, n_threads, tolerance=tolerance, seed=seed
+    )
+    instances = [
+        PhaseInstance(
+            pc=name,
+            durations=np.maximum(
+                1, (np.asarray(ops) * ns_per_update).astype(np.int64)
+            ),
+            dirty_lines=80,
+        )
+        for name, ops in phases
+    ]
+    workload = TraceWorkload(
+        "ocean-kernel", instances,
+        description="traced red-black relaxation, {0}x{0} grid".format(
+            grid_size
+        ),
+    )
+    return workload, residuals

@@ -1,0 +1,132 @@
+"""Parallel LSD radix sort as a trace workload.
+
+The SPLASH-2 radix kernel sorts integer keys digit by digit; each pass
+has a local-histogram phase, a prefix-sum phase, and a permutation
+phase, each ended by a barrier. We run the real sort on a partitioned
+key array (optionally skewed, which is what creates imbalance), count
+each thread's operations per phase, and scale the counts to simulated
+nanoseconds.
+"""
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhaseInstance
+from repro.workloads.trace_model import TraceWorkload
+
+#: Simulated cost of one histogram/permute operation: a key touch is a
+#: load plus a (often remote, often missing) bucket update.
+DEFAULT_NS_PER_OP = 60
+
+
+def _partition(n_items, n_threads):
+    """Contiguous block partition: the per-thread item counts."""
+    base = n_items // n_threads
+    counts = np.full(n_threads, base, dtype=np.int64)
+    counts[: n_items - base * n_threads] += 1
+    return counts
+
+
+def radix_sort_traced(keys, radix, n_threads):
+    """Sort ``keys`` (LSD) while recording per-thread phase op counts.
+
+    Returns ``(sorted_keys, phases)`` where ``phases`` is a list of
+    ``(phase_name, per_thread_ops)``.
+    """
+    if radix < 2 or radix & (radix - 1):
+        raise WorkloadError("radix must be a power of two >= 2")
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        raise WorkloadError("no keys to sort")
+    if (keys < 0).any():
+        raise WorkloadError("keys must be non-negative")
+    digit_bits = radix.bit_length() - 1
+    max_key = int(keys.max())
+    n_digits = max(1, (max_key.bit_length() + digit_bits - 1) // digit_bits)
+    phases = []
+    current = keys.copy()
+    for digit in range(n_digits):
+        shift = digit * digit_bits
+        digits = (current >> shift) & (radix - 1)
+        # Phase 1: local histograms over each thread's block.
+        block_sizes = _partition(current.size, n_threads)
+        bounds = np.concatenate(([0], np.cumsum(block_sizes)))
+        phases.append(("radix.histogram", block_sizes.copy()))
+        # Phase 2: prefix sum over the radix buckets (each thread scans
+        # its slice of the bucket space).
+        scan_ops = _partition(radix, n_threads) + 8
+        phases.append(("radix.scan", scan_ops))
+        # Phase 3: permutation — each thread moves its block's keys to
+        # their destination buckets.
+        histograms = np.zeros((n_threads, radix), dtype=np.int64)
+        for thread in range(n_threads):
+            lo, hi = bounds[thread], bounds[thread + 1]
+            histograms[thread] = np.bincount(
+                digits[lo:hi], minlength=radix
+            )
+        # Stable global permutation: bucket-major, thread-minor.
+        bucket_base = np.concatenate(
+            ([0], np.cumsum(histograms.sum(axis=0))[:-1])
+        )
+        offsets = bucket_base + np.concatenate(
+            (np.zeros((1, radix), dtype=np.int64),
+             np.cumsum(histograms, axis=0)[:-1]),
+        )
+        output = np.empty_like(current)
+        for thread in range(n_threads):
+            lo, hi = bounds[thread], bounds[thread + 1]
+            cursor = offsets[thread].copy()
+            block = current[lo:hi]
+            block_digits = digits[lo:hi]
+            order = np.argsort(block_digits, kind="stable")
+            sorted_digits = block_digits[order]
+            positions = cursor[sorted_digits] + _running_rank(sorted_digits)
+            output[positions] = block[order]
+        phases.append(("radix.permute", block_sizes.copy()))
+        current = output
+    return current, phases
+
+
+def _running_rank(sorted_values):
+    """Rank of each element within its run of equal values."""
+    if sorted_values.size == 0:
+        return sorted_values
+    change = np.concatenate(([True], sorted_values[1:] != sorted_values[:-1]))
+    run_starts = np.flatnonzero(change)
+    indices = np.arange(sorted_values.size)
+    return indices - np.repeat(run_starts, np.diff(
+        np.concatenate((run_starts, [sorted_values.size]))
+    ))
+
+
+def radix_workload(
+    n_keys=1 << 15, radix=1 << 8, n_threads=16, seed=0,
+    ns_per_op=DEFAULT_NS_PER_OP, skew=0.0,
+):
+    """Run the sort and package the op counts as a workload.
+
+    ``skew`` in [0, 1) concentrates extra keys in the first thread's
+    block, the data-dependent imbalance the SPLASH-2 kernel exhibits on
+    non-uniform inputs. Returns ``(workload, sorted_keys)``.
+    """
+    if not 0 <= skew < 1:
+        raise WorkloadError("skew must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 16, size=n_keys, dtype=np.int64)
+    instances = []
+    sorted_keys, phases = radix_sort_traced(keys, radix, n_threads)
+    for name, ops in phases:
+        ops = ops.astype(np.float64)
+        if skew and name != "radix.scan":
+            ops[0] *= 1.0 + skew * n_threads / 4.0
+        durations = np.maximum(1, (ops * ns_per_op).astype(np.int64))
+        instances.append(
+            PhaseInstance(pc=name, durations=durations, dirty_lines=48)
+        )
+    workload = TraceWorkload(
+        "radix-kernel", instances,
+        description="traced LSD radix sort, {} keys radix {}".format(
+            n_keys, radix
+        ),
+    )
+    return workload, sorted_keys

@@ -1,0 +1,69 @@
+"""Context-switch and I/O perturbation (paper Section 3.4.2).
+
+The operating system occasionally takes a CPU away from its thread —
+an I/O request, a page fault, a daemon. From the barrier's perspective
+the effect is an *inordinately long* interval: the preempted thread
+arrives late, the last arriver measures a BIT far above the predicted
+one, and the underprediction filter must keep the spike out of the
+predictor so that the next (normal) instance is not grossly
+overpredicted.
+
+:func:`inject_preemptions` applies this perturbation to a generated
+instance list; it composes with any model via
+:class:`~repro.workloads.generator.WorkloadRunner`'s ``perturb`` hook.
+"""
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import PhaseInstance
+
+
+def inject_preemptions(
+    instances, probability, duration_ns, seed=0, victims=None,
+):
+    """Extend random (instance, thread) cells by a preemption.
+
+    Parameters
+    ----------
+    instances:
+        The :class:`~repro.workloads.base.PhaseInstance` list to perturb
+        (not mutated; a new list is returned).
+    probability:
+        Chance that any given instance suffers a preemption.
+    duration_ns:
+        How long the OS holds the CPU (page fault: ~ms).
+    seed:
+        RNG seed for victim selection.
+    victims:
+        Optional subset of thread ids eligible for preemption.
+
+    Returns ``(perturbed_instances, events)`` where ``events`` lists
+    ``(instance_index, thread, duration_ns)``.
+    """
+    if not 0 <= probability <= 1:
+        raise WorkloadError("probability must be in [0, 1]")
+    if duration_ns <= 0:
+        raise WorkloadError("preemption duration must be positive")
+    rng = np.random.default_rng(seed)
+    perturbed = []
+    events = []
+    for index, instance in enumerate(instances):
+        durations = instance.durations.copy()
+        if rng.random() < probability:
+            pool = (
+                list(victims)
+                if victims is not None
+                else list(range(len(durations)))
+            )
+            thread = int(pool[rng.integers(len(pool))])
+            durations[thread] += duration_ns
+            events.append((index, thread, duration_ns))
+        perturbed.append(
+            PhaseInstance(
+                pc=instance.pc,
+                durations=durations,
+                dirty_lines=instance.dirty_lines,
+            )
+        )
+    return perturbed, events

@@ -1,0 +1,61 @@
+"""Workload models built from explicit per-thread traces.
+
+The statistical models in :mod:`repro.workloads.splash2` describe
+arrival processes; a :class:`TraceWorkload` instead carries concrete
+:class:`~repro.workloads.base.PhaseInstance` objects — typically
+produced by actually *running* an algorithm and counting each thread's
+work (see :mod:`repro.workloads.kernels`).
+"""
+
+from repro.errors import WorkloadError
+
+
+class TraceWorkload:
+    """A workload defined by an explicit instance sequence.
+
+    Implements the same interface :class:`~repro.workloads.generator.
+    WorkloadRunner` consumes (``static_barriers``, ``dynamic_instances``,
+    ``generate``, ``default_threads``).
+    """
+
+    def __init__(self, name, instances, description=""):
+        if not instances:
+            raise WorkloadError("a trace workload needs instances")
+        lengths = {len(instance.durations) for instance in instances}
+        if len(lengths) != 1:
+            raise WorkloadError(
+                "inconsistent thread counts across instances: {}".format(
+                    sorted(lengths)
+                )
+            )
+        self.name = name
+        self.instances = list(instances)
+        self.default_threads = lengths.pop()
+        self.description = description
+
+    @property
+    def static_barriers(self):
+        seen = []
+        for instance in self.instances:
+            if instance.pc not in seen:
+                seen.append(instance.pc)
+        return seen
+
+    @property
+    def dynamic_instances(self):
+        return len(self.instances)
+
+    def generate(self, n_threads, seed=0):
+        """Return the stored trace (the seed is part of its creation)."""
+        if n_threads != self.default_threads:
+            raise WorkloadError(
+                "trace was recorded for {} threads, not {}".format(
+                    self.default_threads, n_threads
+                )
+            )
+        return self.instances
+
+    def __repr__(self):
+        return "TraceWorkload({!r}, {} instances, {} threads)".format(
+            self.name, len(self.instances), self.default_threads
+        )

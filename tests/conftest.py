@@ -1,0 +1,48 @@
+"""Shared fixtures/helpers for barrier-level tests."""
+
+from repro.config import MachineConfig
+from repro.machine import System
+from repro.predict import LastValuePredictor, TimingDomain
+
+
+def make_system(n_nodes=4, detailed=True, **overrides):
+    config = MachineConfig(
+        n_nodes=n_nodes, detailed_memory=detailed, **overrides
+    )
+    return System(config)
+
+
+def make_domain(system, n_threads=None, predictor=None):
+    n_threads = n_threads or system.n_nodes
+    if predictor is None:
+        predictor = LastValuePredictor()
+    return TimingDomain(system, n_threads, predictor=predictor)
+
+
+def run_phases(system, barrier, schedules, dirty_lines=0):
+    """Run one barrier in a loop.
+
+    ``schedules[t]`` is the list of compute durations (ns) thread ``t``
+    executes before each barrier instance; all threads must have the
+    same number of phases.
+    """
+    n_threads = len(schedules)
+    lengths = {len(s) for s in schedules}
+    assert len(lengths) == 1, "all threads need the same phase count"
+
+    def program(node):
+        for duration in schedules[node.node_id]:
+            yield from node.cpu.compute(duration)
+            yield from barrier.wait(node, dirty_lines=dirty_lines)
+
+    system.run_threads(program, n_threads=n_threads)
+    return barrier.trace
+
+
+def staggered_schedules(n_threads, n_instances, base_ns, step_ns):
+    """Thread ``t`` computes ``base + t*step`` each phase: a stable,
+    perfectly repeatable imbalance (thread n-1 is always last)."""
+    return [
+        [base_ns + thread * step_ns] * n_instances
+        for thread in range(n_threads)
+    ]

@@ -1,0 +1,172 @@
+"""Tests for the conventional sense-reversal barrier (Baseline)."""
+
+import pytest
+
+from repro.energy.accounting import Category
+from repro.errors import SimulationError
+from repro.sync import ConventionalBarrier
+
+from tests.conftest import (
+    make_domain,
+    make_system,
+    run_phases,
+    staggered_schedules,
+)
+
+
+def build(n_nodes=4, n_threads=None):
+    system = make_system(n_nodes=n_nodes)
+    n_threads = n_threads or n_nodes
+    domain = make_domain(system, n_threads)
+    barrier = ConventionalBarrier(system, domain, n_threads, pc="b0")
+    return system, domain, barrier
+
+
+class TestSemantics:
+    def test_no_thread_departs_before_last_arrival(self):
+        system, _, barrier = build()
+        trace = run_phases(
+            system, barrier,
+            staggered_schedules(4, 1, base_ns=10_000, step_ns=20_000),
+        )
+        record = trace.instances[0]
+        last_arrival = max(record.arrivals.values())
+        assert all(
+            departure >= last_arrival
+            for departure in record.departures.values()
+        )
+
+    def test_all_threads_arrive_and_depart(self):
+        system, _, barrier = build()
+        trace = run_phases(
+            system, barrier, staggered_schedules(4, 3, 5_000, 1_000)
+        )
+        assert len(trace.instances) == 3
+        for record in trace.instances:
+            assert set(record.arrivals) == {0, 1, 2, 3}
+            assert set(record.departures) == {0, 1, 2, 3}
+
+    def test_sense_reversal_over_many_instances(self):
+        # Reusing the same flag word across instances is the whole point
+        # of sense reversal; 5 instances would deadlock if broken.
+        system, _, barrier = build()
+        trace = run_phases(
+            system, barrier, staggered_schedules(4, 5, 2_000, 500)
+        )
+        assert len(trace.released_instances()) == 5
+
+    def test_last_thread_is_slowest(self):
+        system, _, barrier = build()
+        trace = run_phases(system, barrier, staggered_schedules(4, 1, 0, 50_000))
+        assert trace.instances[0].last_thread == 3
+
+    def test_single_thread_barrier_is_transparent(self):
+        system, domain, _ = build()
+        barrier = ConventionalBarrier(system, domain, 1, pc="solo")
+
+        def program(node):
+            yield from node.cpu.compute(1_000)
+            yield from barrier.wait(node)
+
+        system.run_threads(program, n_threads=1)
+        record = barrier.trace.instances[0]
+        # Only the check-in overhead, no waiting on anyone.
+        assert record.stall_ns(0) < 1_000
+
+    def test_invalid_thread_count_rejected(self):
+        system = make_system()
+        domain = make_domain(system)
+        with pytest.raises(SimulationError):
+            ConventionalBarrier(system, domain, 99, pc="bad")
+
+
+class TestTiming:
+    def test_stall_matches_arrival_spread(self):
+        system, _, barrier = build()
+        trace = run_phases(
+            system, barrier,
+            staggered_schedules(4, 1, base_ns=0, step_ns=100_000),
+        )
+        record = trace.instances[0]
+        # Thread 0 arrives ~300 us before thread 3.
+        assert record.stall_ns(0) == pytest.approx(300_000, rel=0.05)
+        assert record.stall_ns(3) < 20_000
+
+    def test_release_time_at_last_arrival(self):
+        system, _, barrier = build()
+        trace = run_phases(system, barrier, staggered_schedules(4, 1, 0, 50_000))
+        record = trace.instances[0]
+        assert record.release_ts >= max(record.arrivals.values())
+        # Check-in overhead is small compared to any real stall.
+        assert record.release_ts - max(record.arrivals.values()) < 20_000
+
+    def test_measured_bit_spans_interval(self):
+        system, _, barrier = build()
+        trace = run_phases(system, barrier, staggered_schedules(4, 2, 100_000, 10_000))
+        second = trace.instances[1]
+        # Interval two: 130 us compute for the last thread + overheads.
+        assert second.measured_bit == pytest.approx(130_000, rel=0.2)
+
+    def test_bit_published_to_shared_variable(self):
+        system, domain, barrier = build()
+        run_phases(system, barrier, staggered_schedules(4, 2, 10_000, 1_000))
+        published = system.memsys.peek(domain.bit_addr)
+        assert published == barrier.trace.instances[-1].measured_bit
+
+    def test_brts_consistent_across_threads(self):
+        system, domain, barrier = build()
+        run_phases(system, barrier, staggered_schedules(4, 3, 50_000, 5_000))
+        timestamps = [domain.brts(t) for t in range(4)]
+        # All threads observed the same release within the detection lag.
+        assert max(timestamps) - min(timestamps) < 5_000
+
+
+class TestEnergyAccounting:
+    def test_early_threads_charge_spin(self):
+        system, _, barrier = build()
+        run_phases(system, barrier, staggered_schedules(4, 1, 0, 100_000))
+        spin0 = system.nodes[0].cpu.account.time_ns(Category.SPIN)
+        spin3 = system.nodes[3].cpu.account.time_ns(Category.SPIN)
+        assert spin0 > 250_000
+        assert spin3 < 30_000
+
+    def test_no_sleep_or_transition_in_conventional(self):
+        system, _, barrier = build()
+        run_phases(system, barrier, staggered_schedules(4, 2, 10_000, 20_000))
+        total = system.total_account()
+        assert total.time_ns(Category.SLEEP) == 0
+        assert total.time_ns(Category.TRANSITION) == 0
+
+    def test_spin_energy_at_85_percent_power(self):
+        system, _, barrier = build()
+        run_phases(system, barrier, staggered_schedules(4, 1, 0, 100_000))
+        account = system.nodes[0].cpu.account
+        spin_ns = account.time_ns(Category.SPIN)
+        assert account.energy_joules(Category.SPIN) == pytest.approx(
+            system.power.spin_watts * spin_ns * 1e-9
+        )
+
+
+class TestCoherenceInteraction:
+    def test_flag_write_invalidates_all_spinners(self):
+        system, _, barrier = build()
+        invs_before = system.memsys.stats.invalidations
+        run_phases(system, barrier, staggered_schedules(4, 1, 0, 100_000))
+        # Three spinners held shared copies of the flag line.
+        assert system.memsys.stats.invalidations - invs_before >= 3
+
+    def test_spinners_wait_without_busy_events(self):
+        # The spin loop must block on the monitor, not poll: event count
+        # stays far below what per-iteration spinning would generate.
+        system, _, barrier = build()
+        counter = {"events": 0}
+        original_step = system.sim.step
+
+        def counting_step():
+            counter["events"] += 1
+            return original_step()
+
+        system.sim.step = counting_step
+        run_phases(system, barrier, staggered_schedules(4, 1, 0, 1_000_000))
+        # 3 ms of spinning at 1 GHz would be millions of iterations.
+        assert counter["events"] < 3_000

@@ -1,0 +1,169 @@
+"""Unit tests for cache arrays and the L1/L2 hierarchy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, MachineConfig
+from repro.coherence.cache import Cache, CacheHierarchy, LineState
+from repro.errors import ConfigError, ProtocolError
+
+
+def tiny_cache(ways=2, sets=2):
+    config = CacheConfig(
+        size_bytes=64 * ways * sets, line_bytes=64, ways=ways,
+        round_trip_ns=2, freq_mhz=1000,
+    )
+    return Cache(config, name="tiny")
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(0) is None
+        cache.insert(0, LineState.SHARED)
+        assert cache.lookup(0) is LineState.SHARED
+
+    def test_lru_eviction_within_set(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.insert(0, LineState.SHARED)
+        cache.insert(1, LineState.SHARED)
+        cache.touch(0)  # 1 becomes LRU
+        evicted = cache.insert(2, LineState.SHARED)
+        assert evicted == (1, LineState.SHARED)
+        assert cache.lookup(0) is not None
+
+    def test_insert_existing_line_does_not_evict(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.insert(0, LineState.SHARED)
+        cache.insert(1, LineState.SHARED)
+        assert cache.insert(0, LineState.MODIFIED) is None
+        assert cache.lookup(0) is LineState.MODIFIED
+
+    def test_sets_are_independent(self):
+        cache = tiny_cache(ways=1, sets=2)
+        cache.insert(0, LineState.SHARED)  # set 0
+        cache.insert(1, LineState.SHARED)  # set 1
+        assert cache.lookup(0) is not None
+        assert cache.lookup(1) is not None
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.insert(4, LineState.MODIFIED)
+        assert cache.invalidate(4) is LineState.MODIFIED
+        assert cache.invalidate(4) is None
+        assert cache.lookup(4) is None
+
+    def test_touch_absent_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            tiny_cache().touch(7)
+
+    def test_set_state_absent_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            tiny_cache().set_state(7, LineState.SHARED)
+
+    def test_insert_requires_line_state(self):
+        with pytest.raises(ConfigError):
+            tiny_cache().insert(0, "M")
+
+    def test_dirty_lines(self):
+        cache = tiny_cache(ways=4, sets=1)
+        cache.insert(0, LineState.MODIFIED)
+        cache.insert(1, LineState.SHARED)
+        cache.insert(2, LineState.MODIFIED)
+        assert sorted(cache.dirty_lines()) == [0, 2]
+
+    def test_clear(self):
+        cache = tiny_cache()
+        cache.insert(0, LineState.SHARED)
+        cache.clear()
+        assert cache.occupancy() == 0
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=100))
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = tiny_cache(ways=2, sets=4)
+        for line in lines:
+            cache.insert(line, LineState.SHARED)
+        assert cache.occupancy() <= 8
+        # Every set obeys its way limit.
+        for cache_set in cache._sets:
+            assert len(cache_set) <= 2
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=60))
+    def test_most_recent_insert_always_resident(self, lines):
+        cache = tiny_cache(ways=2, sets=2)
+        for line in lines:
+            cache.insert(line, LineState.SHARED)
+            assert cache.lookup(line) is LineState.SHARED
+
+
+class TestCacheHierarchy:
+    def _hierarchy(self):
+        return CacheHierarchy(MachineConfig(n_nodes=4), node_id=0)
+
+    def test_l1_hit_latency(self):
+        hierarchy = self._hierarchy()
+        hierarchy.fill(0, LineState.SHARED)
+        latency, state = hierarchy.lookup(0)
+        assert latency == 2
+        assert state is LineState.SHARED
+
+    def test_l2_hit_latency_after_l1_eviction(self):
+        hierarchy = self._hierarchy()
+        n_l1_sets = hierarchy.config.l1.n_sets
+        # Fill one L1 set past its 2 ways so the first line falls to L2.
+        for way in range(3):
+            hierarchy.fill(way * n_l1_sets, LineState.SHARED)
+        latency, state = hierarchy.lookup(0)
+        assert state is LineState.SHARED
+        assert latency == 2 + 12
+
+    def test_full_miss_charges_both_lookups(self):
+        latency, state = self._hierarchy().lookup(12345)
+        assert state is None
+        assert latency == 14
+
+    def test_inclusion_l2_eviction_purges_l1(self):
+        hierarchy = self._hierarchy()
+        n_l2_sets = hierarchy.config.l2.n_sets
+        lines = [way * n_l2_sets for way in range(9)]  # 8-way L2 set
+        for line in lines:
+            hierarchy.fill(line, LineState.SHARED)
+        # The LRU line (lines[0]) left both levels.
+        assert hierarchy.state(lines[0]) is None
+        assert hierarchy.l1.lookup(lines[0]) is None
+
+    def test_dirty_victim_reported_for_writeback(self):
+        hierarchy = self._hierarchy()
+        n_l2_sets = hierarchy.config.l2.n_sets
+        hierarchy.fill(0, LineState.MODIFIED)
+        victims = []
+        for way in range(1, 9):
+            victims += hierarchy.fill(way * n_l2_sets, LineState.SHARED)
+        assert victims == [0]
+
+    def test_set_state_propagates_to_both_levels(self):
+        hierarchy = self._hierarchy()
+        hierarchy.fill(0, LineState.MODIFIED)
+        hierarchy.set_state(0, LineState.SHARED)
+        assert hierarchy.l1.lookup(0) is LineState.SHARED
+        assert hierarchy.l2.lookup(0) is LineState.SHARED
+
+    def test_invalidate_returns_l2_state(self):
+        hierarchy = self._hierarchy()
+        hierarchy.fill(0, LineState.MODIFIED)
+        assert hierarchy.invalidate(0) is LineState.MODIFIED
+        assert hierarchy.state(0) is None
+
+    def test_dirty_lines_authoritative_at_l2(self):
+        hierarchy = self._hierarchy()
+        hierarchy.fill(0, LineState.MODIFIED)
+        hierarchy.fill(1, LineState.SHARED)
+        assert hierarchy.dirty_lines() == [0]
+
+    def test_drop_all(self):
+        hierarchy = self._hierarchy()
+        hierarchy.fill(0, LineState.MODIFIED)
+        hierarchy.drop_all()
+        assert hierarchy.state(0) is None
+        assert hierarchy.dirty_lines() == []

@@ -1,0 +1,47 @@
+"""Calibration tests: measured Baseline imbalance vs. paper Table 2.
+
+These run the full 64-thread Baseline simulation for every application
+(a few seconds each); they are the ground truth behind the Table 2
+benchmark.
+"""
+
+import pytest
+
+from repro.workloads import WorkloadRunner, get_model
+from repro.workloads.splash2 import SPLASH2_NAMES, TABLE2_IMBALANCE
+
+#: Relative tolerance of the calibration. The models are stochastic and
+#: the simulator adds check-in/coherence overheads the analytic tuning
+#: cannot fold in exactly.
+TOLERANCE = 0.15
+
+_cache = {}
+
+
+def measured_imbalance(name):
+    if name not in _cache:
+        result = WorkloadRunner(get_model(name), seed=1).run()
+        _cache[name] = result.barrier_imbalance()
+    return _cache[name]
+
+
+@pytest.mark.parametrize("name", SPLASH2_NAMES)
+def test_imbalance_matches_table2(name):
+    measured = measured_imbalance(name)
+    target = TABLE2_IMBALANCE[name]
+    assert measured == pytest.approx(target, rel=TOLERANCE), (
+        "{}: measured {:.4f} vs Table 2 {:.4f}".format(
+            name, measured, target
+        )
+    )
+
+
+def test_table2_ranking_preserved():
+    # The paper sorts Table 2 by descending imbalance; the five target
+    # apps must stay separated from the rest at the 10% line.
+    for name in SPLASH2_NAMES:
+        measured = measured_imbalance(name)
+        if TABLE2_IMBALANCE[name] >= 0.10:
+            assert measured >= 0.09, name
+        else:
+            assert measured < 0.10, name

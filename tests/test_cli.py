@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_artifact_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure7"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.threads == 64
+        assert args.apps is None
+        assert not args.chart
+
+
+class TestMain:
+    def test_table3_prints(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "97.8%" in out
+
+    def test_table1_prints_probes(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "L1 round trip" in out
+
+    def test_table2_single_app(self, capsys):
+        assert main(["table2", "--apps", "radiosity", "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "radiosity" in out
+        assert "volrend" not in out
+
+    def test_figure5_with_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "m.json"
+        csv_path = tmp_path / "m.csv"
+        assert main([
+            "figure5", "--apps", "radiosity", "--threads", "16",
+            "--chart", "--json", str(json_path), "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "|" in out  # the chart
+        records = json.loads(json_path.read_text())
+        assert len(records) == 5
+        assert csv_path.exists()
+
+    def test_headline(self, capsys):
+        assert main([
+            "headline", "--apps", "radiosity", "--threads", "16",
+        ]) == 0
+        assert "headline" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Tests for the confidence-gated predictor (Section 3.3.3 extension)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.predict import ConfidencePredictor, LastValuePredictor
+from repro.sync import ThriftyBarrier
+
+from tests.conftest import make_system, run_phases
+from repro.predict import TimingDomain
+
+
+def gated(threshold=2, maximum=3, tolerance=0.25):
+    return ConfidencePredictor(
+        LastValuePredictor(),
+        threshold=threshold, maximum=maximum, tolerance=tolerance,
+    )
+
+
+class TestConfidenceCounter:
+    def test_cold_entry_predicts_none(self):
+        predictor = gated()
+        assert predictor.predict("pc") is None
+
+    def test_needs_confirmations_before_predicting(self):
+        predictor = gated(threshold=2)
+        predictor.update("pc", 1_000)      # confidence 1
+        assert predictor.predict("pc") is None
+        predictor.update("pc", 1_050)      # confirming -> confidence 2
+        assert predictor.predict("pc") == 1_050
+
+    def test_surprise_drops_confidence(self):
+        predictor = gated(threshold=2)
+        for value in (1_000, 1_000, 1_000):
+            predictor.update("pc", value)
+        assert predictor.predict("pc") == 1_000
+        predictor.update("pc", 50_000)     # way off -> confidence drops
+        predictor.update("pc", 50_500)     # still rebuilding
+        assert predictor.confidence("pc") < 2 or (
+            predictor.predict("pc") is not None
+        )
+
+    def test_alternating_values_never_gain_confidence(self):
+        # The Ocean pattern: a confidence gate silences the entry.
+        predictor = gated(threshold=2)
+        for index in range(10):
+            predictor.update("pc", 1_000 if index % 2 == 0 else 5_000)
+        assert predictor.predict("pc") is None
+
+    def test_recovers_after_stabilizing(self):
+        predictor = gated(threshold=2)
+        for index in range(6):
+            predictor.update("pc", 1_000 if index % 2 == 0 else 5_000)
+        for _ in range(4):
+            predictor.update("pc", 2_000)
+        assert predictor.predict("pc") == 2_000
+
+    def test_counter_saturates(self):
+        predictor = gated(threshold=2, maximum=3)
+        for _ in range(10):
+            predictor.update("pc", 1_000)
+        assert predictor.confidence("pc") == 3
+
+    def test_disable_bits_still_work(self):
+        predictor = gated()
+        predictor.update("pc", 1_000)
+        predictor.update("pc", 1_000)
+        predictor.disable("pc", 5)
+        assert predictor.is_disabled("pc", 5)
+        assert not predictor.is_disabled("pc", 4)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            ConfidencePredictor("not a predictor")
+        with pytest.raises(ConfigError):
+            ConfidencePredictor(LastValuePredictor(), threshold=0)
+        with pytest.raises(ConfigError):
+            ConfidencePredictor(
+                LastValuePredictor(), threshold=5, maximum=3
+            )
+        with pytest.raises(ConfigError):
+            ConfidencePredictor(LastValuePredictor(), tolerance=0)
+
+
+class TestConfidenceInBarrier:
+    def test_thrifty_with_confidence_gate(self):
+        system = make_system()
+        predictor = gated(threshold=2)
+        domain = TimingDomain(system, 4, predictor=predictor)
+        barrier = ThriftyBarrier(system, domain, 4, pc="b0")
+        schedules = [
+            [200_000] * 6, [200_000] * 6, [200_000] * 6, [700_000] * 6,
+        ]
+        run_phases(system, barrier, schedules)
+        # The gate delays sleeping by one extra (confirming) instance
+        # relative to plain last-value, then sleeps normally.
+        assert barrier.stats.cold_spins >= 2 * 3
+        assert barrier.stats.sleeps > 0

@@ -1,0 +1,86 @@
+"""Tests for the optional link-contention model."""
+
+import pytest
+
+from repro.config import MachineConfig, NetworkConfig
+from repro.interconnect import Hypercube, Network
+from repro.machine import System
+from repro.predict import TimingDomain
+from repro.sim import Simulator
+from repro.sync import ConventionalBarrier
+
+from tests.conftest import run_phases, staggered_schedules
+
+
+def contended_network(n_nodes=8):
+    sim = Simulator()
+    config = NetworkConfig(model_contention=True)
+    return sim, Network(sim, Hypercube(n_nodes), config)
+
+
+class TestLinkContention:
+    def test_single_message_matches_uncontended(self):
+        sim, net = contended_network()
+        event = net.transfer(0, 3, size_bytes=16)
+        sim.run()
+        assert sim.now == net.latency_ns(0, 3, size_bytes=16)
+        assert event.triggered
+
+    def test_second_message_queues_on_shared_link(self):
+        sim, net = contended_network()
+        # Both messages cross link (0 -> 1) first (e-cube order).
+        first = net.transfer(0, 1, size_bytes=80)   # 5 flits: 20 ns hold
+        arrivals = []
+        second = net.transfer(0, 1, size_bytes=16)
+        first.add_callback(lambda ev: arrivals.append(("first", sim.now)))
+        second.add_callback(lambda ev: arrivals.append(("second", sim.now)))
+        sim.run()
+        base = net.latency_ns(0, 1, size_bytes=16)
+        second_arrival = dict(arrivals)["second"]
+        assert second_arrival > base  # queued behind the first worm
+
+    def test_disjoint_paths_do_not_interact(self):
+        sim, net = contended_network()
+        net.transfer(0, 1, size_bytes=512)
+        event = net.transfer(2, 3, size_bytes=16)  # link (2 -> 3)
+        sim.run()
+        # Second message unaffected: links disjoint.
+        assert event.triggered
+        assert sim.now >= net.latency_ns(0, 1, size_bytes=512)
+
+    def test_fanout_serializes_at_source_links(self):
+        sim, net = contended_network()
+        # 3 messages from node 0 to neighbors 1, 2, 4: different first
+        # links, so they go out in parallel...
+        for dst in (1, 2, 4):
+            net.transfer(0, dst, size_bytes=16)
+        sim.run()
+        parallel_time = sim.now
+        # ... but 3 messages to the same destination share links.
+        sim2, net2 = contended_network()
+        for _ in range(3):
+            net2.transfer(0, 1, size_bytes=16)
+        sim2.run()
+        assert sim2.now > parallel_time - 1  # queuing visible
+
+    def test_contention_grows_barrier_release_fanout(self):
+        def run_with(contention):
+            network = NetworkConfig(model_contention=contention)
+            system = System(MachineConfig(n_nodes=8, network=network))
+            domain = TimingDomain(system, 8)
+            barrier = ConventionalBarrier(system, domain, 8, pc="c")
+            run_phases(
+                system, barrier, staggered_schedules(8, 2, 10_000, 5_000)
+            )
+            return system.execution_time_ns
+
+        uncontended = run_with(False)
+        contended = run_with(True)
+        # The INV fan-out and serialized check-ins share links; modeled
+        # contention can only lengthen the run.
+        assert contended >= uncontended
+
+    def test_invalid_size_still_rejected(self):
+        sim, net = contended_network()
+        with pytest.raises(Exception):
+            net.transfer(0, 1, size_bytes=0)

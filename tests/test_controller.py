@@ -1,0 +1,107 @@
+"""Unit tests for the cache controller's thrifty extensions."""
+
+import pytest
+
+from repro.coherence import CacheController, MemorySystem
+from repro.config import MachineConfig
+from repro.errors import ProtocolError
+from repro.sim import Simulator
+
+
+def build_controller():
+    sim = Simulator()
+    memsys = MemorySystem(sim, MachineConfig(n_nodes=2))
+    controller = CacheController(sim, 0, memsys)
+    memsys.controllers[0] = controller
+    return sim, memsys, controller
+
+
+class TestFlagMonitor:
+    def test_arm_returns_line_key(self):
+        _sim, memsys, controller = build_controller()
+        key = controller.arm_flag_monitor(0x1040, lambda line: None)
+        assert key == memsys.line_of(0x1040)
+        assert controller.monitors_line(key)
+
+    def test_notify_pops_and_calls_all(self):
+        _sim, _memsys, controller = build_controller()
+        fired = []
+        controller.arm_flag_monitor(0x100, lambda line: fired.append("a"))
+        controller.arm_flag_monitor(0x100, lambda line: fired.append("b"))
+        controller.notify_invalidation(controller.memsys.line_of(0x100))
+        assert fired == ["a", "b"]
+        assert not controller.monitors_line(
+            controller.memsys.line_of(0x100)
+        )
+
+    def test_notify_unmonitored_line_is_silent(self):
+        _sim, _memsys, controller = build_controller()
+        controller.notify_invalidation(0x999)
+        assert controller.stats_monitor_fires == 0
+
+    def test_disarm_specific_callback(self):
+        _sim, _memsys, controller = build_controller()
+        fired = []
+        keep = lambda line: fired.append("keep")   # noqa: E731
+        drop = lambda line: fired.append("drop")   # noqa: E731
+        key = controller.arm_flag_monitor(0x100, keep)
+        controller.arm_flag_monitor(0x100, drop)
+        controller.disarm_flag_monitor(key, drop)
+        controller.notify_invalidation(key)
+        assert fired == ["keep"]
+
+    def test_disarm_after_fire_is_safe(self):
+        _sim, _memsys, controller = build_controller()
+        callback = lambda line: None  # noqa: E731
+        key = controller.arm_flag_monitor(0x100, callback)
+        controller.notify_invalidation(key)
+        controller.disarm_flag_monitor(key, callback)  # no exception
+
+    def test_fire_counter(self):
+        _sim, _memsys, controller = build_controller()
+        key = controller.arm_flag_monitor(0x100, lambda line: None)
+        controller.notify_invalidation(key)
+        assert controller.stats_monitor_fires == 1
+
+
+class TestWakeTimer:
+    def test_timer_fires_after_delay(self):
+        sim, _memsys, controller = build_controller()
+        fired = []
+        controller.arm_wake_timer(500, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [500]
+
+    def test_timer_cancellable(self):
+        sim, _memsys, controller = build_controller()
+        fired = []
+        handle = controller.arm_wake_timer(500, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        _sim, _memsys, controller = build_controller()
+        with pytest.raises(ProtocolError):
+            controller.arm_wake_timer(-1, lambda: None)
+
+
+class TestSnoopState:
+    def test_snooping_toggles(self):
+        _sim, _memsys, controller = build_controller()
+        assert controller.snooping
+        controller.set_snooping(False)
+        assert not controller.snooping
+        controller.set_snooping(True)
+        assert controller.snooping
+
+    def test_monitor_fires_even_while_not_snooping(self):
+        # The controller is never disabled (paper Section 3.3.1): it
+        # acknowledges invalidations to clean data and raises wake-ups
+        # while the CPU and caches sleep.
+        _sim, _memsys, controller = build_controller()
+        controller.set_snooping(False)
+        fired = []
+        key = controller.arm_flag_monitor(0x100, lambda line: fired.append(1))
+        controller.notify_invalidation(key)
+        assert fired == [1]

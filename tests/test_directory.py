@@ -1,0 +1,106 @@
+"""Unit tests for directory state transitions (repro.coherence.directory)."""
+
+import pytest
+
+from repro.coherence.directory import Directory, DirState
+from repro.errors import ProtocolError
+from repro.sim import Simulator
+
+
+def fresh_directory():
+    return Directory(Simulator(), node_id=0)
+
+
+class TestEntryTransitions:
+    def test_entries_start_uncached(self):
+        directory = fresh_directory()
+        entry = directory.entry(0x10)
+        assert entry.state is DirState.UNCACHED
+        assert entry.sharers == set()
+        assert entry.owner is None
+
+    def test_grant_shared_accumulates_sharers(self):
+        directory = fresh_directory()
+        directory.grant_shared(0x10, 1)
+        directory.grant_shared(0x10, 2)
+        entry = directory.entry(0x10)
+        assert entry.state is DirState.SHARED
+        assert entry.sharers == {1, 2}
+
+    def test_grant_shared_while_exclusive_rejected(self):
+        directory = fresh_directory()
+        directory.grant_exclusive(0x10, 1)
+        with pytest.raises(ProtocolError):
+            directory.grant_shared(0x10, 2)
+
+    def test_grant_exclusive_with_foreign_sharers_rejected(self):
+        directory = fresh_directory()
+        directory.grant_shared(0x10, 1)
+        with pytest.raises(ProtocolError):
+            directory.grant_exclusive(0x10, 2)
+
+    def test_grant_exclusive_to_sole_sharer_allowed(self):
+        directory = fresh_directory()
+        directory.grant_shared(0x10, 2)
+        directory.grant_exclusive(0x10, 2)
+        entry = directory.entry(0x10)
+        assert entry.state is DirState.EXCLUSIVE
+        assert entry.owner == 2
+        assert entry.sharers == set()
+
+    def test_demote_owner(self):
+        directory = fresh_directory()
+        directory.grant_exclusive(0x10, 3)
+        owner = directory.demote_owner(0x10)
+        assert owner == 3
+        entry = directory.entry(0x10)
+        assert entry.state is DirState.SHARED
+        assert entry.sharers == {3}
+
+    def test_demote_non_exclusive_rejected(self):
+        directory = fresh_directory()
+        with pytest.raises(ProtocolError):
+            directory.demote_owner(0x10)
+
+    def test_drop_last_sharer_returns_to_uncached(self):
+        directory = fresh_directory()
+        directory.grant_shared(0x10, 1)
+        directory.drop_sharer(0x10, 1)
+        assert directory.entry(0x10).state is DirState.UNCACHED
+
+    def test_drop_unknown_sharer_is_noop(self):
+        directory = fresh_directory()
+        directory.grant_shared(0x10, 1)
+        directory.drop_sharer(0x10, 9)
+        assert directory.entry(0x10).sharers == {1}
+
+    def test_release_exclusive_by_owner(self):
+        directory = fresh_directory()
+        directory.grant_exclusive(0x10, 1)
+        assert directory.release_exclusive(0x10, 1) is True
+        assert directory.entry(0x10).state is DirState.UNCACHED
+
+    def test_stale_release_ignored(self):
+        # A write-back racing a later grant: the line moved on, DASH
+        # would NAK; we drop it.
+        directory = fresh_directory()
+        directory.grant_exclusive(0x10, 1)
+        directory.release_exclusive(0x10, 1)
+        directory.grant_exclusive(0x10, 2)
+        assert directory.release_exclusive(0x10, 1) is False
+        assert directory.entry(0x10).owner == 2
+
+    def test_repr_mentions_state(self):
+        directory = fresh_directory()
+        directory.grant_exclusive(0x10, 1)
+        assert "owner=1" in repr(directory.entry(0x10))
+        directory2 = fresh_directory()
+        directory2.grant_shared(0x20, 3)
+        assert "sharers=[3]" in repr(directory2.entry(0x20))
+
+
+class TestLockRegistry:
+    def test_same_lock_object_per_line(self):
+        directory = fresh_directory()
+        assert directory.lock(0x10) is directory.lock(0x10)
+        assert directory.lock(0x10) is not directory.lock(0x20)

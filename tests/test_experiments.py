@@ -1,0 +1,132 @@
+"""Tests for the experiment harness (configs, runner, metrics)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    CONFIG_NAMES,
+    CONFIG_SHORT,
+    DERIVED_CONFIGS,
+    LIVE_CONFIGS,
+    run_experiment,
+)
+from repro.experiments.configs import barrier_factory_for, thrifty_config_for
+from repro.experiments.metrics import (
+    SEGMENTS,
+    energy_savings,
+    headline_summary,
+    normalized_breakdown,
+    normalized_total,
+    slowdown,
+)
+from repro.experiments.runner import run_app
+
+THREADS = 16  # smaller machine for unit-test speed; 64 in benchmarks
+
+
+@pytest.fixture(scope="module")
+def fmm_results():
+    return run_app("fmm", threads=THREADS)
+
+
+class TestConfigs:
+    def test_five_configurations(self):
+        assert len(CONFIG_NAMES) == 5
+        assert set(LIVE_CONFIGS) | set(DERIVED_CONFIGS) == set(
+            CONFIG_NAMES
+        )
+
+    def test_short_labels_match_paper(self):
+        assert [CONFIG_SHORT[c] for c in CONFIG_NAMES] == [
+            "B", "H", "O", "T", "I",
+        ]
+
+    def test_thrifty_halt_has_single_state(self):
+        config = thrifty_config_for("thrifty-halt")
+        assert len(config.sleep_states) == 1
+        assert config.sleep_states[0].snoops
+
+    def test_factory_rejects_derived_configs(self):
+        with pytest.raises(ConfigError):
+            barrier_factory_for("oracle-halt")
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fmm", "turbo", threads=THREADS)
+
+
+class TestRunApp:
+    def test_all_five_results_present(self, fmm_results):
+        assert set(fmm_results) == set(CONFIG_NAMES)
+
+    def test_derived_configs_keep_baseline_time(self, fmm_results):
+        baseline = fmm_results["baseline"]
+        for config in DERIVED_CONFIGS:
+            assert (
+                fmm_results[config].execution_time_ns
+                == baseline.execution_time_ns
+            )
+
+    def test_energy_ordering(self, fmm_results):
+        # Ideal <= Oracle-Halt <= Baseline, and thrifty variants save.
+        joules = {c: fmm_results[c].energy_joules for c in CONFIG_NAMES}
+        assert joules["ideal"] <= joules["oracle-halt"] <= joules["baseline"]
+        assert joules["thrifty"] < joules["baseline"]
+        assert joules["thrifty-halt"] < joules["baseline"]
+        assert joules["ideal"] <= joules["thrifty"]
+
+    def test_thrifty_stats_attached(self, fmm_results):
+        stats = fmm_results["thrifty"].thrifty_stats
+        assert stats["sleeps"] > 0
+        assert any(key.startswith("sleeps[") for key in stats)
+
+    def test_oracle_meta_attached(self, fmm_results):
+        meta = fmm_results["oracle-halt"].oracle_meta
+        assert meta["slept_stalls"] > 0
+
+    def test_subset_of_configs(self):
+        results = run_app(
+            "radiosity", threads=THREADS, configs=("baseline", "ideal")
+        )
+        assert set(results) == {"baseline", "ideal"}
+
+
+class TestMetrics:
+    def test_baseline_normalizes_to_100(self, fmm_results):
+        baseline = fmm_results["baseline"]
+        assert normalized_total(baseline, baseline) == pytest.approx(100.0)
+        assert normalized_total(
+            baseline, baseline, kind="time"
+        ) == pytest.approx(100.0)
+
+    def test_breakdown_sums_to_total(self, fmm_results):
+        baseline = fmm_results["baseline"]
+        thrifty = fmm_results["thrifty"]
+        breakdown = normalized_breakdown(thrifty, baseline)
+        assert sum(breakdown.values()) == pytest.approx(
+            normalized_total(thrifty, baseline)
+        )
+
+    def test_segments_cover_categories(self):
+        assert set(SEGMENTS) == {"compute", "spin", "transition", "sleep"}
+
+    def test_invalid_kind_rejected(self, fmm_results):
+        baseline = fmm_results["baseline"]
+        with pytest.raises(ConfigError):
+            normalized_breakdown(baseline, baseline, kind="power")
+
+    def test_savings_and_slowdown_signs(self, fmm_results):
+        baseline = fmm_results["baseline"]
+        thrifty = fmm_results["thrifty"]
+        assert energy_savings(thrifty, baseline) > 0
+        assert slowdown(thrifty, baseline) > -0.01
+
+    def test_headline_summary_structure(self, fmm_results):
+        matrix = {"fmm": fmm_results}
+        summary = headline_summary(matrix, target_apps=("fmm",))
+        assert set(summary) == set(CONFIG_NAMES) - {"baseline"}
+        entry = summary["thrifty"]
+        assert 0 < entry["target_energy_savings"] < 1
+        assert entry["target_slowdown"] < 0.1
+        # The oracle configurations never slow down.
+        assert summary["ideal"]["target_slowdown"] == 0.0

@@ -1,0 +1,103 @@
+"""Tests for JSON/CSV export and ASCII bar rendering."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import figures, report
+from repro.experiments.export import (
+    matrix_to_json,
+    matrix_to_records,
+    records_to_csv,
+)
+from repro.experiments.runner import run_app
+
+THREADS = 16
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {"fmm": run_app("fmm", threads=THREADS)}
+
+
+class TestRecords:
+    def test_one_record_per_cell(self, matrix):
+        records = matrix_to_records(matrix)
+        assert len(records) == 5
+        assert {r["config"] for r in records} == {
+            "baseline", "thrifty-halt", "oracle-halt", "thrifty", "ideal",
+        }
+
+    def test_record_fields(self, matrix):
+        records = matrix_to_records(matrix)
+        for record in records:
+            assert record["app"] == "fmm"
+            assert record["threads"] == THREADS
+            assert record["execution_time_ns"] > 0
+            assert record["energy_joules"] > 0
+            assert 0 < record["normalized_energy_pct"] <= 101
+            for segment in ("compute", "spin", "transition", "sleep"):
+                assert "energy_{}_pct".format(segment) in record
+
+    def test_baseline_normalizes_to_100(self, matrix):
+        records = matrix_to_records(matrix)
+        baseline = next(r for r in records if r["config"] == "baseline")
+        assert baseline["normalized_energy_pct"] == pytest.approx(100.0)
+        assert baseline["normalized_time_pct"] == pytest.approx(100.0)
+
+    def test_thrifty_stats_included(self, matrix):
+        records = matrix_to_records(matrix)
+        thrifty = next(r for r in records if r["config"] == "thrifty")
+        assert thrifty["thrifty_stats"]["sleeps"] > 0
+
+    def test_missing_baseline_rejected(self, matrix):
+        broken = {
+            "fmm": {
+                k: v for k, v in matrix["fmm"].items() if k != "baseline"
+            }
+        }
+        with pytest.raises(ConfigError):
+            matrix_to_records(broken)
+
+
+class TestJsonCsv:
+    def test_json_round_trips(self, matrix, tmp_path):
+        path = tmp_path / "matrix.json"
+        text = matrix_to_json(matrix, path=path)
+        parsed = json.loads(text)
+        assert parsed == json.loads(path.read_text())
+        assert len(parsed) == 5
+
+    def test_csv_has_scalar_columns_only(self, matrix, tmp_path):
+        path = tmp_path / "matrix.csv"
+        records = matrix_to_records(matrix)
+        columns = records_to_csv(records, path)
+        assert "thrifty_stats" not in columns
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5
+        assert {row["config"] for row in rows} == {
+            "baseline", "thrifty-halt", "oracle-halt", "thrifty", "ideal",
+        }
+
+    def test_empty_csv_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            records_to_csv([], tmp_path / "empty.csv")
+
+
+class TestBarChart:
+    def test_bars_scale_with_value(self, matrix):
+        rows = figures.figure5_rows(matrix)
+        chart = report.render_bar_chart(rows)
+        lines = chart.splitlines()
+        assert len(lines) == 5
+        baseline_line = next(line for line in lines if " B " in line)
+        thrifty_line = next(line for line in lines if " T " in line)
+        assert baseline_line.count("#") >= thrifty_line.count("#")
+
+    def test_values_printed(self, matrix):
+        rows = figures.figure6_rows(matrix)
+        chart = report.render_bar_chart(rows, value_key="wall")
+        assert "100.0" in chart

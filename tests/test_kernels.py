@@ -1,0 +1,194 @@
+"""Tests for the real-algorithm trace kernels."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import WorkloadError
+from repro.machine import System
+from repro.workloads import WorkloadRunner
+from repro.workloads.base import PhaseInstance
+from repro.workloads.kernels import (
+    fft_workload,
+    nbody_workload,
+    ocean_workload,
+    radix_workload,
+)
+from repro.workloads.kernels.fft import fft_traced
+from repro.workloads.kernels.ocean import relax_traced
+from repro.workloads.kernels.radix import radix_sort_traced
+from repro.workloads.trace_model import TraceWorkload
+
+
+class TestRadixKernel:
+    def test_sorts_correctly(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 1 << 16, size=4096)
+        sorted_keys, _ = radix_sort_traced(keys, 256, n_threads=8)
+        assert (sorted_keys == np.sort(keys)).all()
+
+    def test_phase_structure(self):
+        keys = np.arange(1024)[::-1]
+        _, phases = radix_sort_traced(keys, 256, n_threads=4)
+        names = [name for name, _ in phases]
+        # 16-bit keys at radix 256: two digit passes of three phases.
+        assert names == [
+            "radix.histogram", "radix.scan", "radix.permute",
+        ] * 2
+
+    def test_ops_cover_all_keys(self):
+        keys = np.arange(1000)
+        _, phases = radix_sort_traced(keys, 256, n_threads=8)
+        for name, ops in phases:
+            if name in ("radix.histogram", "radix.permute"):
+                assert ops.sum() == 1000
+
+    def test_invalid_radix_rejected(self):
+        with pytest.raises(WorkloadError):
+            radix_sort_traced(np.arange(8), 3, 2)
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(WorkloadError):
+            radix_sort_traced(np.array([-1, 2]), 256, 2)
+
+    def test_workload_runs_on_simulator(self):
+        workload, sorted_keys = radix_workload(
+            n_keys=2048, radix=256, n_threads=4, skew=0.3
+        )
+        assert (np.diff(sorted_keys) >= 0).all()
+        system = System(MachineConfig(n_nodes=4))
+        result = WorkloadRunner(workload, system=system).run()
+        assert result.execution_time_ns > 0
+        assert len(result.trace.released_instances()) == (
+            workload.dynamic_instances
+        )
+
+    def test_skew_increases_imbalance(self):
+        flat, _ = radix_workload(n_keys=2048, n_threads=4, skew=0.0)
+        skewed, _ = radix_workload(n_keys=2048, n_threads=4, skew=0.5)
+        def spread(workload):
+            return sum(i.spread_ns for i in workload.instances)
+        assert spread(skewed) > spread(flat)
+
+
+class TestFftKernel:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(5)
+        signal = rng.normal(size=256) + 1j * rng.normal(size=256)
+        spectrum, _ = fft_traced(signal, n_threads=4)
+        assert np.allclose(spectrum, np.fft.fft(signal))
+
+    def test_counts_cover_all_butterflies(self):
+        signal = np.ones(64, dtype=complex)
+        _, counts = fft_traced(signal, n_threads=4)
+        assert len(counts) == 6  # log2(64) stages
+        for stage in counts:
+            assert stage.sum() == 32  # n/2 butterflies per stage
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(WorkloadError):
+            fft_traced(np.ones(100), 4)
+
+    def test_workload_barriers_are_one_shot(self):
+        workload, _ = fft_workload(n_points=1 << 10, n_threads=4)
+        pcs = [instance.pc for instance in workload.instances]
+        assert len(pcs) == len(set(pcs))  # non-repeating, as in FFT
+
+    def test_workload_runs_and_predictor_stays_cold(self):
+        from repro.experiments.configs import barrier_factory_for
+        from repro.sync import ThriftyBarrier
+
+        workload, _ = fft_workload(n_points=1 << 10, n_threads=4)
+        system = System(MachineConfig(n_nodes=4))
+        runner = WorkloadRunner(
+            workload, system=system,
+            barrier_factory=barrier_factory_for("thrifty"),
+        )
+        result = runner.run()
+        sleeps = sum(
+            barrier.stats.sleeps
+            for barrier in result.barriers.values()
+            if isinstance(barrier, ThriftyBarrier)
+        )
+        assert sleeps == 0  # every PC is cold: behaves like Baseline
+
+
+class TestOceanKernel:
+    def test_converges(self):
+        _, residuals, _ = relax_traced(34, n_threads=4, tolerance=1e-3)
+        assert residuals[-1] < 1e-3
+        assert residuals[-1] < residuals[0]
+
+    def test_sweep_count_data_dependent(self):
+        _, res_loose, _ = relax_traced(34, 4, tolerance=1e-2, seed=0)
+        _, res_tight, _ = relax_traced(34, 4, tolerance=1e-3, seed=0)
+        assert len(res_tight) > len(res_loose)
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(WorkloadError):
+            relax_traced(2, 2)
+
+    def test_workload_runs(self):
+        workload, residuals = ocean_workload(
+            grid_size=34, n_threads=4, tolerance=1e-3
+        )
+        assert residuals
+        system = System(MachineConfig(n_nodes=4))
+        result = WorkloadRunner(workload, system=system).run()
+        assert len(result.trace.released_instances()) == (
+            workload.dynamic_instances
+        )
+
+
+class TestNbodyKernel:
+    def test_workload_runs(self):
+        workload, energies = nbody_workload(
+            n_bodies=128, n_steps=3, n_threads=4
+        )
+        assert len(energies) == 3
+        system = System(MachineConfig(n_nodes=4))
+        result = WorkloadRunner(workload, system=system).run()
+        assert result.execution_time_ns > 0
+
+    def test_clustering_creates_imbalance(self):
+        workload, _ = nbody_workload(n_bodies=256, n_steps=2, n_threads=4)
+        force_instances = [
+            i for i in workload.instances if i.pc == "nbody.forces"
+        ]
+        assert force_instances
+        assert any(i.spread_ns > 0 for i in force_instances)
+
+    def test_needs_two_bodies(self):
+        with pytest.raises(WorkloadError):
+            nbody_workload(n_bodies=1, n_steps=1, n_threads=1)
+
+
+class TestTraceWorkload:
+    def _instance(self, pc="a", n=4):
+        return PhaseInstance(
+            pc=pc, durations=np.full(n, 100, dtype=np.int64), dirty_lines=0
+        )
+
+    def test_interface(self):
+        workload = TraceWorkload("t", [self._instance("a"),
+                                       self._instance("b"),
+                                       self._instance("a")])
+        assert workload.static_barriers == ["a", "b"]
+        assert workload.dynamic_instances == 3
+        assert workload.default_threads == 4
+        assert len(workload.generate(4)) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload("t", [])
+
+    def test_inconsistent_threads_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload(
+                "t", [self._instance(n=4), self._instance(n=8)]
+            )
+
+    def test_wrong_thread_count_rejected(self):
+        workload = TraceWorkload("t", [self._instance(n=4)])
+        with pytest.raises(WorkloadError):
+            workload.generate(8)

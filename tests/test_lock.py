@@ -1,0 +1,87 @@
+"""Tests for the queued test-and-set spinlock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sync import SpinLock
+
+from tests.conftest import make_system
+
+
+def test_uncontended_acquire_release():
+    system = make_system()
+    lock = SpinLock(system)
+
+    def program(node):
+        yield from lock.acquire(node)
+        assert lock.held
+        yield from lock.release(node)
+
+    system.run_threads(program, n_threads=1)
+    assert not lock.held
+    assert lock.stats_acquisitions == 1
+    assert lock.stats_contended == 0
+
+
+def test_mutual_exclusion_under_contention():
+    system = make_system()
+    lock = SpinLock(system)
+    inside = []
+    max_inside = []
+
+    def program(node):
+        for _ in range(3):
+            yield from lock.acquire(node)
+            inside.append(node.node_id)
+            max_inside.append(len(inside))
+            yield from node.cpu.compute(1_000)
+            inside.remove(node.node_id)
+            yield from lock.release(node)
+
+    system.run_threads(program)
+    assert max(max_inside) == 1
+    assert lock.stats_acquisitions == 12
+
+
+def test_fifo_handoff_order():
+    system = make_system()
+    lock = SpinLock(system)
+    order = []
+
+    def program(node):
+        # Stagger arrivals so the queue order is deterministic.
+        yield from node.cpu.compute(100 * (node.node_id + 1))
+        yield from lock.acquire(node)
+        order.append(node.node_id)
+        yield from node.cpu.compute(10_000)
+        yield from lock.release(node)
+
+    system.run_threads(program)
+    assert order == [0, 1, 2, 3]
+
+
+def test_release_by_non_holder_rejected():
+    system = make_system()
+    lock = SpinLock(system)
+
+    def bad(node):
+        yield from lock.acquire(node)
+        lock._holder = 99  # simulate corruption
+        yield from lock.release(node)
+
+    with pytest.raises(SimulationError):
+        system.run_threads(bad, n_threads=1)
+
+
+def test_lock_word_goes_through_memory_system():
+    system = make_system()
+    lock = SpinLock(system)
+
+    def program(node):
+        yield from lock.acquire(node)
+        yield from lock.release(node)
+
+    rmws_before = system.memsys.stats.rmws
+    system.run_threads(program, n_threads=2)
+    assert system.memsys.stats.rmws > rmws_before
+    assert system.memsys.peek(lock.addr) == 0

@@ -1,0 +1,45 @@
+"""Tests for the coherence message vocabulary."""
+
+import pytest
+
+from repro.coherence.messages import (
+    CONTROL_BYTES,
+    DATA_BYTES,
+    Message,
+    MessageType,
+    message_bytes,
+)
+
+
+def test_control_messages_are_one_flit():
+    for message_type in (
+        MessageType.GETS, MessageType.GETX, MessageType.INV,
+        MessageType.INV_ACK, MessageType.FETCH, MessageType.FETCH_INV,
+        MessageType.WB_ACK,
+    ):
+        assert message_bytes(message_type) == CONTROL_BYTES
+
+
+def test_data_messages_carry_a_line():
+    for message_type in (
+        MessageType.PUTX, MessageType.DATA_S, MessageType.DATA_X,
+    ):
+        assert message_bytes(message_type) == DATA_BYTES
+        assert message_bytes(message_type) >= 64
+
+
+def test_message_size_property():
+    message = Message(MessageType.DATA_S, line_addr=0x10, src=0, dst=3)
+    assert message.size_bytes == DATA_BYTES
+    assert Message(MessageType.INV, 0x10, 1, 2).size_bytes == CONTROL_BYTES
+
+
+def test_messages_are_immutable():
+    message = Message(MessageType.GETS, 0x10, 0, 1)
+    with pytest.raises(AttributeError):
+        message.src = 5
+
+
+def test_every_type_has_a_size():
+    for message_type in MessageType:
+        assert message_bytes(message_type) > 0

@@ -1,0 +1,102 @@
+"""Tests for the Oracle-Halt / Ideal post-hoc accounting."""
+
+import pytest
+
+from repro.config import DEFAULT_SLEEP_STATES, SLEEP1_HALT, SLEEP3
+from repro.energy.accounting import Category
+from repro.sync import ConventionalBarrier, oracle_rerun
+
+from tests.conftest import (
+    make_domain,
+    make_system,
+    run_phases,
+    staggered_schedules,
+)
+
+
+def baseline_run(schedules):
+    system = make_system()
+    domain = make_domain(system)
+    barrier = ConventionalBarrier(system, domain, len(schedules), pc="b0")
+    run_phases(system, barrier, schedules)
+    return system, barrier.trace
+
+
+class TestOracleInvariants:
+    def test_total_time_preserved_per_thread(self):
+        system, trace = baseline_run(staggered_schedules(4, 3, 0, 400_000))
+        accounts = system.cpu_accounts()
+        result = oracle_rerun(trace, accounts, system.power, (SLEEP1_HALT,))
+        for before, after in zip(accounts, result.accounts):
+            assert after.time_ns() == pytest.approx(
+                before.time_ns(), rel=0.01
+            )
+
+    def test_compute_untouched(self):
+        system, trace = baseline_run(staggered_schedules(4, 3, 0, 400_000))
+        accounts = system.cpu_accounts()
+        result = oracle_rerun(trace, accounts, system.power, (SLEEP1_HALT,))
+        for before, after in zip(accounts, result.accounts):
+            assert after.time_ns(Category.COMPUTE) == before.time_ns(
+                Category.COMPUTE
+            )
+            assert after.energy_joules(Category.COMPUTE) == pytest.approx(
+                before.energy_joules(Category.COMPUTE)
+            )
+
+    def test_oracle_halt_saves_energy(self):
+        system, trace = baseline_run(staggered_schedules(4, 3, 0, 400_000))
+        accounts = system.cpu_accounts()
+        result = oracle_rerun(trace, accounts, system.power, (SLEEP1_HALT,))
+        base_joules = sum(a.energy_joules() for a in accounts)
+        oracle_joules = sum(a.energy_joules() for a in result.accounts)
+        assert oracle_joules < base_joules
+
+    def test_ideal_saves_more_than_oracle_halt(self):
+        system, trace = baseline_run(staggered_schedules(4, 3, 0, 800_000))
+        accounts = system.cpu_accounts()
+        halt = oracle_rerun(trace, accounts, system.power, (SLEEP1_HALT,))
+        ideal = oracle_rerun(
+            trace, accounts, system.power, DEFAULT_SLEEP_STATES
+        )
+        assert sum(a.energy_joules() for a in ideal.accounts) < sum(
+            a.energy_joules() for a in halt.accounts
+        )
+        assert ideal.sleeps_by_state[SLEEP3.name] > 0
+
+    def test_short_stalls_remain_spin(self):
+        # 5 us stalls: even Halt's 20 us round trip does not fit.
+        system, trace = baseline_run(staggered_schedules(4, 3, 50_000, 2_000))
+        accounts = system.cpu_accounts()
+        result = oracle_rerun(trace, accounts, system.power, (SLEEP1_HALT,))
+        assert result.slept_stalls == 0
+        assert result.spin_stalls > 0
+        total_sleep = sum(
+            a.time_ns(Category.SLEEP) for a in result.accounts
+        )
+        assert total_sleep == 0
+
+    def test_sleep_residency_excludes_round_trip(self):
+        system, trace = baseline_run(staggered_schedules(4, 2, 0, 500_000))
+        accounts = system.cpu_accounts()
+        result = oracle_rerun(trace, accounts, system.power, (SLEEP1_HALT,))
+        for account in result.accounts:
+            transitions = account.time_ns(Category.TRANSITION)
+            if transitions:
+                sleeps = account.time_ns(Category.SLEEP)
+                # Each slept stall contributes exactly one round trip.
+                n_sleeps = transitions // SLEEP1_HALT.round_trip_ns
+                assert sleeps > 0
+                assert transitions == n_sleeps * SLEEP1_HALT.round_trip_ns
+
+    def test_last_thread_keeps_most_energy(self):
+        system, trace = baseline_run(staggered_schedules(4, 3, 0, 400_000))
+        accounts = system.cpu_accounts()
+        result = oracle_rerun(trace, accounts, system.power, (SLEEP1_HALT,))
+        savings = [
+            before.energy_joules() - after.energy_joules()
+            for before, after in zip(accounts, result.accounts)
+        ]
+        # Thread 3 is always last: nothing to save there.
+        assert savings[3] == pytest.approx(0.0, abs=1e-6)
+        assert savings[0] > savings[3]

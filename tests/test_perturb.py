@@ -1,0 +1,137 @@
+"""Tests for preemption injection and the underprediction filter
+(paper Section 3.4.2)."""
+
+import pytest
+
+from repro.config import ThriftyConfig
+from repro.errors import WorkloadError
+from repro.sync import ThriftyBarrier
+from repro.workloads import (
+    PhaseSpec,
+    RotatingStraggler,
+    WorkloadModel,
+    WorkloadRunner,
+)
+from repro.workloads.perturb import inject_preemptions
+
+from tests.conftest import make_system
+
+PAGE_FAULT_NS = 30_000_000  # 30 ms: an inordinate interval
+
+
+def toy_model(iterations=12):
+    return WorkloadModel(
+        name="perturbed",
+        loop_phases=(
+            PhaseSpec("p.work", 600_000, RotatingStraggler(0.5, sigma=0.01)),
+        ),
+        iterations=iterations,
+        default_threads=4,
+    )
+
+
+class TestInjection:
+    def test_events_extend_exactly_one_thread(self):
+        instances = toy_model().generate(4, seed=0)
+        perturbed, events = inject_preemptions(
+            instances, probability=1.0, duration_ns=PAGE_FAULT_NS, seed=1
+        )
+        assert len(events) == len(instances)
+        for (index, thread, duration), before, after in zip(
+            events, instances, perturbed
+        ):
+            delta = after.durations - before.durations
+            assert delta[thread] == duration
+            assert delta.sum() == duration
+
+    def test_zero_probability_changes_nothing(self):
+        instances = toy_model().generate(4, seed=0)
+        perturbed, events = inject_preemptions(
+            instances, probability=0.0, duration_ns=PAGE_FAULT_NS
+        )
+        assert events == []
+        for before, after in zip(instances, perturbed):
+            assert (before.durations == after.durations).all()
+
+    def test_originals_not_mutated(self):
+        instances = toy_model().generate(4, seed=0)
+        snapshot = [i.durations.copy() for i in instances]
+        inject_preemptions(instances, 1.0, PAGE_FAULT_NS)
+        for before, expected in zip(instances, snapshot):
+            assert (before.durations == expected).all()
+
+    def test_victim_subset_respected(self):
+        instances = toy_model().generate(4, seed=0)
+        _, events = inject_preemptions(
+            instances, probability=1.0, duration_ns=PAGE_FAULT_NS,
+            victims=(2,),
+        )
+        assert events and all(thread == 2 for _i, thread, _d in events)
+
+    def test_invalid_parameters_rejected(self):
+        instances = toy_model().generate(4, seed=0)
+        with pytest.raises(WorkloadError):
+            inject_preemptions(instances, -0.1, 100)
+        with pytest.raises(WorkloadError):
+            inject_preemptions(instances, 0.5, 0)
+
+
+def run_thrifty(perturb=None, underprediction_factor=4.0):
+    system = make_system()
+    config = ThriftyConfig(underprediction_factor=underprediction_factor)
+
+    def factory(sys_, domain, n_threads, pc, trace):
+        return ThriftyBarrier(
+            sys_, domain, n_threads, pc, trace=trace, config=config
+        )
+
+    runner = WorkloadRunner(
+        toy_model(), system=system, seed=3,
+        barrier_factory=factory, perturb=perturb,
+    )
+    return runner.run(), system
+
+
+class TestFilterEndToEnd:
+    def _perturb(self, instances):
+        perturbed, _ = inject_preemptions(
+            instances, probability=0.25, duration_ns=PAGE_FAULT_NS, seed=9
+        )
+        return perturbed
+
+    def test_run_completes_under_preemption(self):
+        result, _ = run_thrifty(perturb=self._perturb)
+        assert len(result.trace.released_instances()) == 12
+
+    def test_filter_keeps_predictor_sane(self):
+        # Normal intervals are ~1 ms; preempted ones ~31 ms. With the
+        # filter on, the table never learns the spike.
+        result, _ = run_thrifty(perturb=self._perturb)
+        barrier = result.barriers["p.work"]
+        assert barrier.stats.filtered_updates > 0
+        assert result.predictor.peek("p.work") < 5_000_000
+
+    def test_without_filter_spikes_poison_prediction(self):
+        result, _ = run_thrifty(
+            perturb=self._perturb, underprediction_factor=1e9
+        )
+        barrier = result.barriers["p.work"]
+        assert barrier.stats.filtered_updates == 0
+        # At least one overprediction-driven consequence follows: either
+        # the cut-off disables the barrier or late wakes are recorded.
+        consequences = (
+            barrier.stats.cutoff_disables
+            + barrier.stats.invalidation_wakes
+        )
+        assert consequences > 0
+
+    def test_filter_reduces_time_lost_to_spikes(self):
+        filtered, _ = run_thrifty(perturb=self._perturb)
+        unfiltered, _ = run_thrifty(
+            perturb=self._perturb, underprediction_factor=1e9
+        )
+        # Same perturbed workload; the filtered predictor never sleeps
+        # toward a 31 ms wake-up estimate, so it cannot be grossly late.
+        assert (
+            filtered.execution_time_ns <= unfiltered.execution_time_ns
+        )

@@ -1,0 +1,225 @@
+"""Unit tests for predictors, thresholds, and timing bookkeeping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.predict import (
+    ExponentialPredictor,
+    LastValuePredictor,
+    MovingAveragePredictor,
+    TimingDomain,
+    is_overpredicted,
+    should_update_predictor,
+)
+
+from tests.conftest import make_system
+
+
+class TestLastValuePredictor:
+    def test_cold_entry_predicts_none(self):
+        predictor = LastValuePredictor()
+        assert predictor.predict("b1") is None
+        assert predictor.stats.cold_misses == 1
+
+    def test_predicts_last_observation(self):
+        predictor = LastValuePredictor()
+        predictor.update("b1", 1_000)
+        predictor.update("b1", 2_000)
+        assert predictor.predict("b1") == 2_000
+
+    def test_entries_are_pc_indexed(self):
+        predictor = LastValuePredictor()
+        predictor.update("b1", 1_000)
+        predictor.update("b2", 9_000)
+        assert predictor.predict("b1") == 1_000
+        assert predictor.predict("b2") == 9_000
+
+    def test_peek_does_not_count_stats(self):
+        predictor = LastValuePredictor()
+        predictor.update("b1", 5)
+        predictor.peek("b1")
+        assert predictor.stats.predictions == 0
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(ConfigError):
+            LastValuePredictor().update("b1", -1)
+
+    def test_disable_bits_are_per_thread(self):
+        predictor = LastValuePredictor()
+        predictor.disable("b1", 3)
+        assert predictor.is_disabled("b1", 3)
+        assert not predictor.is_disabled("b1", 2)
+        assert not predictor.is_disabled("b2", 3)
+
+    def test_disable_idempotent_in_stats(self):
+        predictor = LastValuePredictor()
+        predictor.disable("b1", 3)
+        predictor.disable("b1", 3)
+        assert predictor.stats.disables == 1
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=30))
+    def test_always_predicts_most_recent(self, values):
+        predictor = LastValuePredictor()
+        for value in values:
+            predictor.update("pc", value)
+        assert predictor.predict("pc") == values[-1]
+
+
+class TestMovingAveragePredictor:
+    def test_window_mean(self):
+        predictor = MovingAveragePredictor(window=2)
+        for value in (100, 200, 400):
+            predictor.update("pc", value)
+        assert predictor.predict("pc") == 300
+
+    def test_short_history_uses_what_exists(self):
+        predictor = MovingAveragePredictor(window=8)
+        predictor.update("pc", 500)
+        assert predictor.predict("pc") == 500
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigError):
+            MovingAveragePredictor(window=0)
+
+
+class TestExponentialPredictor:
+    def test_first_update_sets_value(self):
+        predictor = ExponentialPredictor(alpha=0.5)
+        predictor.update("pc", 1_000)
+        assert predictor.predict("pc") == 1_000
+
+    def test_smoothing(self):
+        predictor = ExponentialPredictor(alpha=0.5)
+        predictor.update("pc", 1_000)
+        predictor.update("pc", 2_000)
+        assert predictor.predict("pc") == 1_500
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigError):
+            ExponentialPredictor(alpha=0.0)
+        with pytest.raises(ConfigError):
+            ExponentialPredictor(alpha=1.5)
+
+    @given(st.lists(st.integers(100, 10**7), min_size=2, max_size=20))
+    def test_prediction_within_observed_range(self, values):
+        predictor = ExponentialPredictor(alpha=0.3)
+        for value in values:
+            predictor.update("pc", value)
+        assert min(values) <= predictor.predict("pc") <= max(values)
+
+
+class TestThresholds:
+    def test_on_time_wake_is_not_overprediction(self):
+        assert not is_overpredicted(
+            wakeup_ts_ns=900, release_ts_ns=1_000, bit_ns=10_000
+        )
+
+    def test_small_penalty_tolerated(self):
+        # 5% of BIT, under the 10% threshold.
+        assert not is_overpredicted(1_500, 1_000, bit_ns=10_000)
+
+    def test_large_penalty_trips_cutoff(self):
+        assert is_overpredicted(3_000, 1_000, bit_ns=10_000)
+
+    def test_threshold_configurable(self):
+        assert is_overpredicted(1_500, 1_000, bit_ns=10_000, threshold=0.04)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            is_overpredicted(1, 0, 10, threshold=0)
+
+    def test_update_allowed_for_normal_interval(self):
+        assert should_update_predictor(10_000, 12_000)
+
+    def test_update_filtered_for_inordinate_interval(self):
+        # Context switch: observed 10x the prediction.
+        assert not should_update_predictor(10_000, 100_000, factor=4.0)
+
+    def test_cold_entry_always_updates(self):
+        assert should_update_predictor(None, 10**9)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            should_update_predictor(1, 1, factor=1.0)
+
+
+class TestTimingDomain:
+    def test_initial_brts_zero(self):
+        system = make_system()
+        domain = TimingDomain(system, 4)
+        assert all(domain.brts(t) == 0 for t in range(4))
+
+    def test_compute_time_is_local_elapsed(self):
+        system = make_system()
+        domain = TimingDomain(system, 4)
+        system.sim.schedule(500, lambda: None)
+        system.sim.run()
+        assert domain.compute_time(0) == 500
+
+    def test_advance_accumulates(self):
+        system = make_system()
+        domain = TimingDomain(system, 4)
+        assert domain.advance(1, 1_000) == 1_000
+        assert domain.advance(1, 250) == 1_250
+        assert domain.brts(0) == 0
+
+    def test_negative_bit_rejected(self):
+        system = make_system()
+        domain = TimingDomain(system, 4)
+        with pytest.raises(SimulationError):
+            domain.advance(0, -1)
+
+    def test_estimate_cold_returns_none(self):
+        system = make_system()
+        from repro.predict import LastValuePredictor
+
+        domain = TimingDomain(system, 4, predictor=LastValuePredictor())
+        assert domain.estimate("pc", 0) == (None, None)
+
+    def test_estimate_uses_brts_plus_prediction(self):
+        system = make_system()
+        from repro.predict import LastValuePredictor
+
+        predictor = LastValuePredictor()
+        domain = TimingDomain(system, 4, predictor=predictor)
+        predictor.update("pc", 10_000)
+        domain.advance(2, 3_000)
+        system.sim.schedule(4_000, lambda: None)
+        system.sim.run()
+        wake_ts, stall = domain.estimate("pc", 2)
+        assert wake_ts == 13_000
+        assert stall == 9_000  # 13_000 - now(4_000)
+
+    def test_estimate_disabled_thread_returns_none(self):
+        system = make_system()
+        from repro.predict import LastValuePredictor
+
+        predictor = LastValuePredictor()
+        predictor.update("pc", 10_000)
+        predictor.disable("pc", 1)
+        domain = TimingDomain(system, 4, predictor=predictor)
+        assert domain.estimate("pc", 1) == (None, None)
+        assert domain.estimate("pc", 0) != (None, None)
+
+    def test_measure_bit(self):
+        system = make_system()
+        domain = TimingDomain(system, 4)
+        domain.advance(3, 2_000)
+        system.sim.schedule(5_000, lambda: None)
+        system.sim.run()
+        assert domain.measure_bit(3) == 3_000
+
+    def test_record_observed_release(self):
+        system = make_system()
+        domain = TimingDomain(system, 4)
+        system.sim.schedule(700, lambda: None)
+        system.sim.run()
+        assert domain.record_observed_release(0) == 700
+        assert domain.brts(0) == 700
+
+    def test_requires_threads(self):
+        system = make_system()
+        with pytest.raises(SimulationError):
+            TimingDomain(system, 0)

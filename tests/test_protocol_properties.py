@@ -1,0 +1,146 @@
+"""Property-based tests of the coherence protocol.
+
+Two families:
+
+* **functional correctness**: any sequential mix of loads, stores, and
+  RMWs, issued from arbitrary nodes over a small address pool, produces
+  the same values as a plain dictionary;
+* **protocol invariants** after quiescence, even for *concurrent* mixes:
+  at most one MODIFIED copy per line, directory-EXCLUSIVE matches the
+  owner's cache, SHARED lines have no dirty copies anywhere, and the
+  directory's sharer set is a superset of the caches' (silent S
+  evictions may leave stale sharers, never missing ones).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence import CacheController, DirState, LineState, MemorySystem
+from repro.config import MachineConfig
+from repro.sim import Simulator
+
+N_NODES = 4
+ADDRESSES = [0x1000 * i for i in range(6)]
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["load", "store", "rmw"]),
+        st.integers(0, N_NODES - 1),
+        st.sampled_from(ADDRESSES),
+        st.integers(0, 999),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build():
+    sim = Simulator()
+    memsys = MemorySystem(sim, MachineConfig(n_nodes=N_NODES))
+    for node in range(N_NODES):
+        memsys.controllers[node] = CacheController(sim, node, memsys)
+    return sim, memsys
+
+
+def apply_op(memsys, kind, node, addr, value):
+    if kind == "load":
+        return memsys.load(node, addr)
+    if kind == "store":
+        return memsys.store(node, addr, value)
+    return memsys.rmw(node, addr, lambda old: old + value)
+
+
+def check_invariants(memsys):
+    for addr in ADDRESSES:
+        line = memsys.line_of(addr)
+        home = memsys.home_of(addr)
+        entry = memsys.directories[home].entry(line)
+        holders = {
+            node: memsys.hierarchies[node].state(line)
+            for node in range(N_NODES)
+        }
+        dirty = [n for n, s in holders.items() if s is LineState.MODIFIED]
+        shared = [n for n, s in holders.items() if s is LineState.SHARED]
+        # Single-writer invariant.
+        assert len(dirty) <= 1, (addr, holders, entry)
+        if entry.state is DirState.EXCLUSIVE:
+            # The registered owner holds the only dirty copy (or lost it
+            # to an in-flight write-back, in which case nobody is dirty).
+            assert dirty in ([entry.owner], []), (addr, holders, entry)
+            assert not shared or shared == [entry.owner]
+        else:
+            assert not dirty, (addr, holders, entry)
+        if entry.state is DirState.SHARED:
+            # Sharer list may be stale (silent evictions) but never
+            # misses a real holder.
+            assert set(shared) <= entry.sharers, (addr, holders, entry)
+        if entry.state is DirState.UNCACHED:
+            assert not dirty
+
+
+class TestSequentialFunctionalEquivalence:
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_dictionary(self, sequence):
+        sim, memsys = build()
+        reference = {}
+        results = []
+
+        def driver():
+            for kind, node, addr, value in sequence:
+                got = yield from apply_op(memsys, kind, node, addr, value)
+                results.append(got)
+
+        sim.spawn(driver())
+        sim.run()
+        expected = []
+        for kind, _node, addr, value in sequence:
+            if kind == "load":
+                expected.append(reference.get(addr, 0))
+            elif kind == "store":
+                reference[addr] = value
+                expected.append(None)
+            else:
+                expected.append(reference.get(addr, 0))
+                reference[addr] = reference.get(addr, 0) + value
+        assert results == expected
+        for addr in ADDRESSES:
+            assert memsys.peek(addr) == reference.get(addr, 0)
+
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_after_sequential_mix(self, sequence):
+        sim, memsys = build()
+
+        def driver():
+            for kind, node, addr, value in sequence:
+                yield from apply_op(memsys, kind, node, addr, value)
+
+        sim.spawn(driver())
+        sim.run()
+        check_invariants(memsys)
+
+
+class TestConcurrentInvariants:
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_after_concurrent_mix(self, sequence):
+        sim, memsys = build()
+        for kind, node, addr, value in sequence:
+            sim.spawn(apply_op(memsys, kind, node, addr, value))
+        sim.run()
+        check_invariants(memsys)
+
+    @given(
+        st.integers(0, len(ADDRESSES) - 1),
+        st.lists(st.integers(0, N_NODES - 1), min_size=2, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_concurrent_increments_all_land(self, addr_index, nodes):
+        sim, memsys = build()
+        addr = ADDRESSES[addr_index]
+        for node in nodes:
+            sim.spawn(memsys.rmw(node, addr, lambda old: old + 1))
+        sim.run()
+        assert memsys.peek(addr) == len(nodes)
+        check_invariants(memsys)

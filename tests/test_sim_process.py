@@ -1,0 +1,181 @@
+"""Unit tests for generator processes (repro.sim.process)."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import AnyOf, Simulator
+
+
+def test_process_advances_through_timeouts():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(sim.now)
+        yield sim.timeout(10)
+        trace.append(sim.now)
+        yield sim.timeout(5)
+        trace.append(sim.now)
+
+    sim.spawn(worker())
+    sim.run()
+    assert trace == [0, 10, 15]
+
+
+def test_spawn_does_not_run_body_immediately():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append("ran")
+        yield sim.timeout(1)
+
+    sim.spawn(worker())
+    assert trace == []  # body starts only once the loop runs
+    sim.run()
+    assert trace == ["ran"]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(2)
+        return "result"
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.value == "result"
+
+
+def test_yield_from_subroutine_returns_value():
+    sim = Simulator()
+
+    def sub():
+        yield sim.timeout(3)
+        return 7
+
+    def main(out):
+        got = yield from sub()
+        out.append((sim.now, got))
+
+    out = []
+    sim.spawn(main(out))
+    sim.run()
+    assert out == [(3, 7)]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield sim.timeout(8)
+        order.append("child")
+        return "payload"
+
+    def parent(child_proc):
+        value = yield child_proc
+        order.append(("parent", value, sim.now))
+
+    child_proc = sim.spawn(child())
+    sim.spawn(parent(child_proc))
+    sim.run()
+    assert order == ["child", ("parent", "payload", 8)]
+
+
+def test_timeout_value_is_sent_into_generator():
+    sim = Simulator()
+    received = []
+
+    def worker():
+        got = yield sim.timeout(1, value="tick")
+        received.append(got)
+
+    sim.spawn(worker())
+    sim.run()
+    assert received == ["tick"]
+
+
+def test_process_exception_recorded_on_event():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(1)
+        raise ValueError("inside")
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert proc.triggered and not proc.ok
+    with pytest.raises(ValueError):
+        _ = proc.value
+
+
+def test_failed_event_raises_inside_waiter():
+    sim = Simulator()
+    caught = []
+
+    def worker(event):
+        try:
+            yield event
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    event = sim.event()
+    sim.spawn(worker(event))
+    sim.schedule(4, event.fail, RuntimeError("injected"))
+    sim.run()
+    assert caught == ["injected"]
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield 12345
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert not proc.ok
+    with pytest.raises(ProcessError):
+        _ = proc.value
+
+
+def test_spawn_rejects_non_generator():
+    sim = Simulator()
+    with pytest.raises(ProcessError):
+        sim.spawn(lambda: None)
+
+
+def test_process_racing_anyof_sees_winner():
+    sim = Simulator()
+    outcomes = []
+
+    def sleeper(timer_ns, external):
+        timer = sim.timeout(timer_ns)
+        winner = yield AnyOf(sim, [timer, external])
+        outcomes.append("timer" if winner is timer else "external")
+
+    external = sim.event()
+    sim.spawn(sleeper(100, external))
+    sim.schedule(40, external.succeed)
+    sim.run()
+    assert outcomes == ["external"]
+
+
+def test_many_interleaved_processes_deterministic():
+    sim = Simulator()
+    log = []
+
+    def worker(ident, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            log.append((sim.now, ident))
+
+    for ident, period in enumerate((7, 5, 7)):
+        sim.spawn(worker(ident, period))
+    sim.run()
+    assert log == sorted(log, key=lambda item: item[0])
+    # Same-time events keep spawn order: workers 0 and 2 share period 7.
+    sevens = [ident for now, ident in log if now == 7]
+    assert sevens == [0, 2]

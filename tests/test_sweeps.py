@@ -1,0 +1,65 @@
+"""Tests for the scaling-sweep utilities."""
+
+import pytest
+
+from repro.config import DEFAULT_SLEEP_STATES
+from repro.errors import ConfigError
+from repro.experiments.sweeps import (
+    latency_scaling,
+    scaled_states,
+    thread_scaling,
+)
+
+
+class TestScaledStates:
+    def test_latencies_scaled(self):
+        halved = scaled_states(DEFAULT_SLEEP_STATES, 0.5)
+        assert [s.transition_latency_ns for s in halved] == [
+            5_000, 7_500, 17_500,
+        ]
+
+    def test_power_savings_untouched(self):
+        scaled = scaled_states(DEFAULT_SLEEP_STATES, 2.0)
+        assert [s.power_savings for s in scaled] == [
+            s.power_savings for s in DEFAULT_SLEEP_STATES
+        ]
+
+    def test_never_below_one_ns(self):
+        tiny = scaled_states(DEFAULT_SLEEP_STATES, 1e-9)
+        assert all(s.transition_latency_ns >= 1 for s in tiny)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            scaled_states(DEFAULT_SLEEP_STATES, 0)
+
+
+class TestThreadScaling:
+    def test_points_cover_requested_sizes(self):
+        points = thread_scaling("radiosity", thread_counts=(4, 8))
+        assert [p.threads for p in points] == [4, 8]
+        for point in points:
+            assert point.app == "radiosity"
+            assert 0 <= point.imbalance < 1
+            assert point.ideal_energy_savings >= 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            thread_scaling("fmm", thread_counts=(6,))
+
+    def test_savings_grow_with_threads_for_straggler_app(self):
+        points = thread_scaling("fmm", thread_counts=(4, 16))
+        assert points[1].imbalance > points[0].imbalance
+
+
+class TestLatencyScaling:
+    def test_rows_for_each_factor(self):
+        rows = latency_scaling("fmm", factors=(0.5, 1.0), threads=8)
+        assert [row[0] for row in rows] == [0.5, 1.0]
+        for _factor, savings, slow in rows:
+            assert -0.05 < savings < 1
+            assert slow < 0.1
+
+    def test_faster_transitions_do_not_hurt(self):
+        rows = latency_scaling("fmm", factors=(0.25, 2.0), threads=8)
+        by_factor = {factor: savings for factor, savings, _ in rows}
+        assert by_factor[0.25] >= by_factor[2.0] - 0.01

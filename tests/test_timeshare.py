@@ -1,0 +1,212 @@
+"""Tests for time-sharing (CpuToken) and the yielding barrier
+(paper Section 3.4.1)."""
+
+import pytest
+
+from repro.energy.accounting import Category
+from repro.errors import SimulationError
+from repro.machine import CpuToken, make_tokens
+from repro.machine.timeshare import DEFAULT_CONTEXT_SWITCH_NS
+from repro.predict import TimingDomain
+from repro.sync import ConventionalBarrier, ThriftyBarrier, YieldingBarrier
+
+from tests.conftest import make_domain, make_system
+
+
+class TestCpuToken:
+    def test_first_acquire_is_free(self):
+        system = make_system()
+        token = CpuToken(system.nodes[0])
+
+        def program(node):
+            yield from token.acquire(0)
+            assert token.owner == 0
+            token.release(0)
+
+        system.run_threads(program, n_threads=1)
+        assert system.execution_time_ns == 0
+        assert token.stats_switches == 0
+
+    def test_reacquire_by_same_thread_is_free(self):
+        system = make_system()
+        token = CpuToken(system.nodes[0])
+
+        def program(node):
+            yield from token.acquire(0)
+            token.release(0)
+            yield from token.acquire(0)
+            token.release(0)
+
+        system.run_threads(program, n_threads=1)
+        assert token.stats_switches == 0
+
+    def test_handoff_pays_context_switch(self):
+        system = make_system()
+        node = system.nodes[0]
+        token = CpuToken(node)
+        log = []
+
+        def first():
+            yield from token.acquire(0)
+            yield system.sim.timeout(1_000)
+            token.release(0)
+
+        def second():
+            yield from token.acquire(1)
+            log.append(system.sim.now)
+            token.release(1)
+
+        system.sim.spawn(first())
+        system.sim.spawn(second())
+        system.sim.run()
+        assert log == [1_000 + DEFAULT_CONTEXT_SWITCH_NS]
+        assert token.stats_switches == 1
+        # The switch burns compute-power energy on the node.
+        assert node.cpu.account.time_ns(Category.COMPUTE) == (
+            DEFAULT_CONTEXT_SWITCH_NS
+        )
+
+    def test_fifo_ordering(self):
+        system = make_system()
+        token = CpuToken(system.nodes[0], context_switch_ns=0)
+        order = []
+
+        def holder(tid, hold):
+            yield from token.acquire(tid)
+            order.append(tid)
+            yield system.sim.timeout(hold)
+            token.release(tid)
+
+        for tid in range(3):
+            system.sim.spawn(holder(tid, 100))
+        system.sim.run()
+        assert order == [0, 1, 2]
+
+    def test_release_by_non_owner_rejected(self):
+        system = make_system()
+        token = CpuToken(system.nodes[0])
+
+        def bad():
+            yield from token.acquire(0)
+            token.release(1)
+
+        process = system.sim.spawn(bad())
+        system.sim.run()
+        with pytest.raises(SimulationError):
+            _ = process.value
+
+    def test_make_tokens_maps_threads_round_robin(self):
+        system = make_system(n_nodes=4)
+        tokens, nodes = make_tokens(system, threads_per_cpu=2)
+        assert len(tokens) == 8
+        assert tokens[0] is tokens[4]
+        assert nodes[1].node_id == 1
+        assert nodes[5].node_id == 1
+
+    def test_make_tokens_rejects_zero(self):
+        system = make_system()
+        with pytest.raises(SimulationError):
+            make_tokens(system, threads_per_cpu=0)
+
+
+def overthreaded_run(system, barrier, tokens, nodes, schedules):
+    """Run len(schedules) threads on system.n_nodes CPUs."""
+    processes = []
+    for thread_id, phases in enumerate(schedules):
+        def program(thread_id=thread_id, phases=phases):
+            node = nodes[thread_id]
+            token = tokens[thread_id]
+            for duration in phases:
+                yield from token.acquire(thread_id)
+                yield from node.cpu.compute(duration)
+                yield from barrier.wait(node, thread_id, token)
+            yield from token.acquire(thread_id)
+            token.release(thread_id)
+
+        processes.append(system.sim.spawn(program()))
+    system.run()
+    return processes
+
+
+class TestYieldingBarrier:
+    def _setup(self, n_nodes=4, threads_per_cpu=2):
+        system = make_system(n_nodes=n_nodes)
+        n_threads = n_nodes * threads_per_cpu
+        domain = make_domain(system, n_threads)
+        barrier = YieldingBarrier(system, domain, n_threads, pc="yb")
+        tokens, nodes = make_tokens(system, threads_per_cpu)
+        return system, barrier, tokens, nodes, n_threads
+
+    def test_overthreaded_barrier_completes(self):
+        system, barrier, tokens, nodes, n_threads = self._setup()
+        schedules = [[100_000, 150_000] for _ in range(n_threads)]
+        overthreaded_run(system, barrier, tokens, nodes, schedules)
+        assert len(barrier.trace.released_instances()) == 2
+        for record in barrier.trace.released_instances():
+            assert len(record.arrivals) == n_threads
+
+    def test_yields_counted(self):
+        system, barrier, tokens, nodes, n_threads = self._setup()
+        schedules = [[100_000] for _ in range(n_threads)]
+        overthreaded_run(system, barrier, tokens, nodes, schedules)
+        assert barrier.stats_yields == n_threads - 1
+
+    def test_no_spin_energy_while_yielded(self):
+        system, barrier, tokens, nodes, n_threads = self._setup()
+        # Thread 7 is much slower: everyone else yields for a long time.
+        schedules = [[50_000] for _ in range(n_threads - 1)]
+        schedules.append([2_000_000])
+        overthreaded_run(system, barrier, tokens, nodes, schedules)
+        total = system.total_account()
+        # Blocked threads burn nothing: spin is only the check-in ops.
+        assert total.time_ns(Category.SPIN) < 100_000
+        assert total.time_ns(Category.SLEEP) == 0
+
+    def test_resume_queues_behind_sibling(self):
+        # The Section 3.4.1 hazard: after the release, both co-threads
+        # of a CPU want it; one must wait for the other's next phase.
+        system, barrier, tokens, nodes, n_threads = self._setup(
+            n_nodes=2, threads_per_cpu=2
+        )
+        schedules = [[100_000, 400_000] for _ in range(n_threads)]
+        overthreaded_run(system, barrier, tokens, nodes, schedules)
+        # Phase 2 runs serialized per CPU: execution takes at least
+        # two phase lengths after the first barrier.
+        assert system.execution_time_ns > 100_000 + 2 * 400_000
+
+    def test_dedicated_thrifty_beats_overthreaded_yielding(self):
+        # Same total work: P dedicated threads with 2 units each vs.
+        # 2P over-threaded threads with 1 unit each. Yielding avoids
+        # spin energy but serializes compute on each CPU plus context
+        # switches; thrifty keeps the dedicated timing.
+        n_nodes = 4
+        unit = 500_000
+        yielding_system, barrier, tokens, nodes, n_threads = self._setup(
+            n_nodes=n_nodes, threads_per_cpu=2
+        )
+        schedules = [[unit, unit] for _ in range(n_threads)]
+        overthreaded_run(yielding_system, barrier, tokens, nodes, schedules)
+
+        thrifty_system = make_system(n_nodes=n_nodes)
+        domain = make_domain(thrifty_system, n_nodes)
+        thrifty = ThriftyBarrier(thrifty_system, domain, n_nodes, pc="tb")
+
+        def program(node):
+            for _ in range(2):
+                yield from node.cpu.compute(2 * unit)
+                yield from thrifty.wait(node)
+
+        thrifty_system.run_threads(program)
+        assert (
+            thrifty_system.execution_time_ns
+            < yielding_system.execution_time_ns
+        )
+
+    def test_rejects_too_many_threads_only_for_dedicated_variants(self):
+        system = make_system(n_nodes=4)
+        domain = TimingDomain(system, 8)
+        # Dedicated barrier refuses 8 threads on 4 nodes...
+        with pytest.raises(SimulationError):
+            ConventionalBarrier(system, domain, 8, pc="x")
+        # ... the yielding barrier accepts them.
+        YieldingBarrier(system, domain, 8, pc="y")
