@@ -1,0 +1,82 @@
+"""Parallel experiment engine: cold speedup and warm cache hits.
+
+Two claims the engine makes, measured rather than asserted in docs:
+
+* a 4-worker cold run of a four-application matrix beats the serial
+  run (the cells are independent simulations, so the fan-out should
+  approach linear on idle cores);
+* a warm re-run with caching enabled performs **zero** re-simulations
+  — every cell is served from disk, verified by the engine's counters.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import ExperimentEngine
+from repro.experiments.runner import run_matrix
+
+from conftest import PAPER_SEED, once
+
+APPS = ("fmm", "ocean", "barnes", "radix")
+CONFIGS = ("baseline", "thrifty-halt", "thrifty")
+THREADS = 16
+
+
+def _cold(workers):
+    return run_matrix(
+        apps=APPS, configs=CONFIGS, threads=THREADS, seed=PAPER_SEED,
+        workers=workers, cache=None,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_seconds():
+    import time
+
+    start = time.perf_counter()
+    _cold(2)  # warm any lazy imports so neither timed run pays them
+    warmup = time.perf_counter() - start
+    start = time.perf_counter()
+    _cold(1)
+    return time.perf_counter() - start, warmup
+
+
+def test_cold_matrix_serial(benchmark):
+    once(benchmark, lambda: _cold(1))
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="speedup needs at least two cores",
+)
+def test_cold_matrix_four_workers(benchmark, serial_seconds):
+    serial, _warmup = serial_seconds
+    once(benchmark, lambda: _cold(4))
+    parallel = benchmark.stats.stats.mean
+    benchmark.extra_info["serial_s"] = round(serial, 3)
+    benchmark.extra_info["speedup"] = round(serial / parallel, 2)
+    # "Measurably faster": well clear of timer noise, conservative
+    # enough for loaded CI machines.
+    assert parallel < serial * 0.9
+
+
+def test_warm_rerun_is_all_cache_hits(benchmark, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("engine-cache")
+    warm_engine = ExperimentEngine(workers=4, cache=cache_dir, strict=True)
+    warm_engine.run_matrix(
+        APPS, configs=CONFIGS, threads=THREADS, seed=PAPER_SEED
+    )
+    assert warm_engine.stats.executed == len(APPS) * len(CONFIGS)
+
+    engine = ExperimentEngine(workers=4, cache=cache_dir, strict=True)
+    once(
+        benchmark,
+        lambda: engine.run_matrix(
+            APPS, configs=CONFIGS, threads=THREADS, seed=PAPER_SEED
+        ),
+    )
+    # Zero re-simulations: every cell came off disk.
+    assert engine.stats.executed == 0
+    assert engine.stats.cache_hits == len(APPS) * len(CONFIGS)
+    benchmark.extra_info["cache_hits"] = engine.stats.cache_hits

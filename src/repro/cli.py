@@ -63,6 +63,20 @@ def build_parser():
         "--chart", action="store_true",
         help="append ASCII bar charts to figure5/figure6 output",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the run matrix (default 1 = serial; "
+             "0 = one per CPU); results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-thrifty)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
     return parser
 
 
@@ -71,13 +85,24 @@ def _emit(text):
     print()
 
 
+def _cache_argument(args):
+    """Map the cache flags to run_matrix's ``cache`` argument."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return args.cache_dir
+    return True
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     needs_matrix = args.artifact in ("figure5", "figure6", "headline", "all")
     matrix = None
     if needs_matrix:
         matrix = run_matrix(
-            apps=args.apps, threads=args.threads, seed=args.seed
+            apps=args.apps, threads=args.threads, seed=args.seed,
+            workers=args.workers or None,
+            cache=_cache_argument(args),
         )
     if args.artifact in ("table1", "all"):
         rows, validation = tables.table1_rows()

@@ -31,3 +31,15 @@ class ProtocolError(SimulationError):
 
 class WorkloadError(ReproError):
     """A workload model is malformed or produced an invalid trace."""
+
+
+class ExperimentError(ReproError):
+    """An experiment cell failed (raised, timed out, or its worker died).
+
+    Raised by the parallel engine in strict mode; carries the structured
+    failure records in :attr:`failures`.
+    """
+
+    def __init__(self, message, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)

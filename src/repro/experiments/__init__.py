@@ -9,14 +9,24 @@
   aggregates of Section 5.1;
 * :mod:`repro.experiments.tables` — Tables 1, 2, 3;
 * :mod:`repro.experiments.figures` — Figures 3, 5, 6;
-* :mod:`repro.experiments.report` — plain-text rendering.
+* :mod:`repro.experiments.report` — plain-text rendering;
+* :mod:`repro.experiments.parallel` — the process-pool engine fanning
+  cells over workers with deterministic ordering and fault isolation;
+* :mod:`repro.experiments.cache` — the content-addressed on-disk
+  result cache that makes warm re-runs free.
 """
 
+from repro.experiments.cache import ResultCache, content_key
 from repro.experiments.configs import (
     CONFIG_NAMES,
     CONFIG_SHORT,
     DERIVED_CONFIGS,
     LIVE_CONFIGS,
+)
+from repro.experiments.parallel import (
+    CellFailure,
+    ExperimentCell,
+    ExperimentEngine,
 )
 from repro.experiments.runner import (
     ExperimentResult,
@@ -27,9 +37,14 @@ from repro.experiments.runner import (
 __all__ = [
     "CONFIG_NAMES",
     "CONFIG_SHORT",
+    "CellFailure",
     "DERIVED_CONFIGS",
+    "ExperimentCell",
+    "ExperimentEngine",
     "ExperimentResult",
     "LIVE_CONFIGS",
+    "ResultCache",
+    "content_key",
     "run_experiment",
     "run_matrix",
 ]

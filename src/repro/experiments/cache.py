@@ -1,0 +1,225 @@
+"""On-disk result cache for experiment cells.
+
+Every cell the engine runs is identified by a *content hash* of the
+inputs that fully determine its result: application, configuration
+name, thread count, seed, the complete :class:`~repro.config.MachineConfig`,
+any thrifty-policy overrides, and the package version (the simulator is
+bit-deterministic, so a new package version is the only way an identical
+input can legitimately produce a different output). Re-running a
+figure, sweep, or benchmark therefore skips every already-simulated
+cell.
+
+Cache entries are individual pickle files under a two-level directory
+fan-out; writes are atomic (temp file + ``os.replace``), and any entry
+that fails to load — truncated, corrupted, or written by an
+incompatible pickle — is treated as a miss and removed, never an error.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+
+from repro import __version__
+from repro.errors import ConfigError
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_ENTRY_SUFFIX = ".pkl"
+
+
+def default_cache_dir():
+    """The on-disk cache location: ``$REPRO_CACHE_DIR`` if set, else
+    ``~/.cache/repro-thrifty``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-thrifty"
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-serializable primitives, recursively.
+
+    Dataclasses carry their qualified class name so two config types
+    with coincidentally equal fields hash differently; enums hash by
+    value; tuples/lists/sets collapse to lists (sets sorted by repr).
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        body = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in fields(value)
+        }
+        body["__dataclass__"] = "{}.{}".format(
+            type(value).__module__, type(value).__qualname__
+        )
+        return body
+    if isinstance(value, Enum):
+        return {"__enum__": str(value)}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canonical(v) for v in value), key=repr)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ConfigError(
+        "cannot build a stable cache key from {!r} (type {})".format(
+            value, type(value).__name__
+        )
+    )
+
+
+def content_key(app, config, threads, seed, machine_config, overrides=None):
+    """Stable hex digest identifying one experiment cell.
+
+    Any perturbation of any field — including nested fields of the
+    machine config and a bump of the package version — yields a new key.
+    """
+    payload = {
+        "version": __version__,
+        "app": app,
+        "config": config,
+        "threads": threads,
+        "seed": seed,
+        "machine": _canonical(machine_config),
+        "overrides": _canonical(dict(overrides or {})),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry result store with hit/miss accounting.
+
+    Corruption-tolerant: a load failure of any kind counts as a miss
+    and evicts the bad entry. Counters (:attr:`hits`, :attr:`misses`,
+    :attr:`stores`, :attr:`errors`) let callers verify "zero
+    re-simulations" on a warm re-run.
+    """
+
+    def __init__(self, cache_dir=None):
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    @classmethod
+    def coerce(cls, cache):
+        """Normalize the ``cache=`` argument accepted by entry points.
+
+        ``None`` → no caching; an existing :class:`ResultCache` is
+        passed through; ``True`` → the default directory; a string or
+        path → a cache rooted there.
+        """
+        if cache is None:
+            return None
+        if isinstance(cache, cls):
+            return cache
+        if cache is True:
+            return cls()
+        if isinstance(cache, (str, os.PathLike)):
+            return cls(cache)
+        raise ConfigError(
+            "cache must be None, True, a path, or a ResultCache; got "
+            "{!r}".format(cache)
+        )
+
+    def _entry_path(self, key):
+        return self.cache_dir / key[:2] / (key + _ENTRY_SUFFIX)
+
+    def get(self, key, default=None):
+        """Load a cached result, or ``default`` on miss/corruption."""
+        path = self._entry_path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except Exception:
+            # Truncated/corrupted/incompatible entry: a miss, not a crash.
+            self.errors += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return default
+        self.hits += 1
+        return value
+
+    def put(self, key, value):
+        """Store a result atomically (temp file + rename)."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __contains__(self, key):
+        return self._entry_path(key).exists()
+
+    def entries(self):
+        """All entry paths currently on disk."""
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*/*" + _ENTRY_SUFFIX))
+
+    def __len__(self):
+        return len(self.entries())
+
+    def clear(self):
+        """Remove every entry (the directory itself is kept)."""
+        for path in self.entries():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def prune(self, max_entries):
+        """Evict oldest entries (by mtime) down to ``max_entries``."""
+        if max_entries < 0:
+            raise ConfigError("max_entries must be non-negative")
+        paths = self.entries()
+        if len(paths) <= max_entries:
+            return 0
+        paths.sort(key=lambda p: p.stat().st_mtime, reverse=True)
+        evicted = 0
+        for path in paths[max_entries:]:
+            try:
+                path.unlink()
+                evicted += 1
+            except OSError:
+                pass
+        return evicted
+
+    def stats(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+        }
+
+    def __repr__(self):
+        return "ResultCache({!r}, hits={}, misses={})".format(
+            str(self.cache_dir), self.hits, self.misses
+        )

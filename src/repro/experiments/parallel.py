@@ -1,0 +1,486 @@
+"""Process-pool experiment engine with deterministic results.
+
+The unit of work stays :func:`repro.experiments.runner.run_experiment`
+— one (application, configuration) cell — so a cell computes the exact
+same :class:`~repro.experiments.runner.ExperimentResult` whether it runs
+in-process or in a worker. The engine adds, around that unit:
+
+* fan-out over ``multiprocessing`` fork workers with chunked dispatch
+  and result ordering that matches submission order regardless of
+  completion order;
+* an on-disk :class:`~repro.experiments.cache.ResultCache` so warm
+  re-runs perform zero re-simulations;
+* robustness: a per-cell timeout with bounded retry, worker-crash
+  isolation (a dead worker costs only its unfinished cells, which are
+  retried and then recorded as structured :class:`CellFailure` records
+  while the rest of the matrix completes), and a strict mode that
+  raises :class:`~repro.errors.ExperimentError` instead;
+* graceful degradation to a plain serial loop when ``workers=1``, when
+  there is at most one cell to run, or when the platform cannot fork.
+
+Determinism contract: the simulator is bit-exact, so for any worker
+count the engine returns field-identical results in identical order
+(``tests/test_parallel.py`` enforces this).
+"""
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.config import MachineConfig
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.cache import ResultCache, content_key
+from repro.experiments.runner import DEFAULT_SEED
+
+#: Placeholder for a cell whose result has not been produced yet.
+_PENDING = object()
+
+_OK = "ok"
+_ERR = "error"
+
+#: How long (seconds) to keep draining a finished/terminated worker's
+#: queue for results that were in flight when it stopped.
+_DRAIN_BUDGET_S = 0.25
+
+_POLL_S = 0.01
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (application, configuration) unit of work.
+
+    ``overrides`` is a sorted tuple of ``(name, value)`` pairs (the
+    thrifty-policy keyword overrides of ``run_experiment``) so the cell
+    is hashable and canonically ordered.
+    """
+
+    app: str
+    config: str
+    threads: int = 64
+    seed: int = DEFAULT_SEED
+    machine_config: Optional[MachineConfig] = None
+    overrides: tuple = ()
+
+    @classmethod
+    def make(cls, app, config, threads=64, seed=DEFAULT_SEED,
+             machine_config=None, **overrides):
+        return cls(
+            app=app, config=config, threads=threads, seed=seed,
+            machine_config=machine_config,
+            overrides=tuple(sorted(overrides.items())),
+        )
+
+    def key(self):
+        """Content hash identifying this cell's result on disk."""
+        return content_key(
+            self.app, self.config, self.threads, self.seed,
+            self.machine_config or MachineConfig(),
+            dict(self.overrides),
+        )
+
+
+@dataclass
+class CellFailure:
+    """Structured record of a cell that could not produce a result.
+
+    ``kind`` is ``"error"`` (the cell raised), ``"timeout"`` (exceeded
+    the per-cell budget), or ``"crashed"`` (its worker died).
+    """
+
+    cell: Any
+    kind: str
+    error_type: str = ""
+    message: str = ""
+    attempts: int = 1
+
+    def describe(self):
+        label = getattr(self.cell, "app", None)
+        if label is not None:
+            label = "{}/{}".format(self.cell.app, self.cell.config)
+        else:
+            label = repr(self.cell)
+        detail = self.error_type or self.kind
+        if self.message:
+            detail += ": " + self.message
+        return "{} [{}, attempt {}] {}".format(
+            label, self.kind, self.attempts, detail
+        )
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine lifetime (across ``run_*`` calls)."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failures: int = 0
+    retries: int = 0
+
+    def as_dict(self):
+        return {
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failures": self.failures,
+            "retries": self.retries,
+        }
+
+
+def _run_cell(cell):
+    """Default task: one ``run_experiment`` call (the bit-exact unit)."""
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(
+        cell.app, cell.config, threads=cell.threads, seed=cell.seed,
+        machine_config=cell.machine_config, **dict(cell.overrides)
+    )
+
+
+def _chunk_worker(chunk, out_queue, task_fn):
+    """Worker body: run a chunk of cells, posting each result as it
+    completes so a later crash/timeout only loses unfinished cells.
+
+    ``out_queue`` is a SimpleQueue: ``put`` writes synchronously (no
+    feeder thread), so once a cell's put returns, its result survives
+    even an immediate SIGKILL of this worker.
+    """
+    for index, cell in chunk:
+        try:
+            result = task_fn(cell)
+        except BaseException as exc:
+            out_queue.put((index, _ERR, (type(exc).__name__, str(exc))))
+        else:
+            out_queue.put((index, _OK, result))
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None when unsupported.
+
+    Fork is required (not just preferred): it inherits the parent's
+    loaded modules and lets tests/task functions pass closures without
+    pickling. Platforms without it degrade to the serial path.
+    """
+    try:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+    except Exception:
+        pass
+    return None
+
+
+@dataclass
+class _WorkerState:
+    process: Any
+    out_queue: Any
+    remaining: dict  # index -> cell, in dispatch order
+    deadline: float
+
+
+class ExperimentEngine:
+    """Fan experiment cells out over worker processes, cached.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``None`` means ``os.cpu_count()``; ``1`` (the
+        default) selects the serial in-process path.
+    cache:
+        ``None`` (no caching), ``True`` (default directory), a path, or
+        a :class:`ResultCache`.
+    timeout:
+        Per-cell wall-clock budget in seconds (parallel path only — a
+        serial in-process cell cannot be preempted). ``None`` disables.
+    retries:
+        Extra attempts granted to a cell whose worker timed out or
+        crashed. Cells that *raise* are deterministic and never retried.
+    strict:
+        When True, ``run_cells``/``run_matrix`` raise
+        :class:`~repro.errors.ExperimentError` if any cell ends in
+        failure; when False, failures are returned in-place as
+        :class:`CellFailure` records and the rest of the matrix
+        completes.
+    chunksize:
+        Cells dispatched to a worker at a time. ``None`` auto-sizes to
+        about four chunks per worker.
+    """
+
+    def __init__(self, workers=1, cache=None, timeout=None, retries=1,
+                 strict=False, chunksize=None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigError("workers must be >= 1, got {}".format(workers))
+        if timeout is not None and timeout <= 0:
+            raise ConfigError("timeout must be positive or None")
+        if retries < 0:
+            raise ConfigError("retries must be non-negative")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigError("chunksize must be >= 1")
+        self.workers = workers
+        self.cache = ResultCache.coerce(cache)
+        self.timeout = timeout
+        self.retries = retries
+        self.strict = strict
+        self.chunksize = chunksize
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def run_cells(self, cells, task_fn=None):
+        """Run cells, returning results in submission order.
+
+        Each slot of the returned list is the task's result or a
+        :class:`CellFailure`. With the default task (``task_fn=None``)
+        the cache is consulted first and fed on success; a custom
+        ``task_fn`` bypasses the cache (its inputs are not content-
+        addressed).
+        """
+        cells = list(cells)
+        self.stats.submitted += len(cells)
+        results = [_PENDING] * len(cells)
+        use_cache = self.cache is not None and task_fn is None
+        pending = []
+        for index, cell in enumerate(cells):
+            if use_cache:
+                hit = self.cache.get(cell.key(), _PENDING)
+                if hit is not _PENDING:
+                    results[index] = hit
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append(index)
+        task = task_fn or _run_cell
+        if pending:
+            context = _fork_context()
+            if self.workers > 1 and len(pending) > 1 and context is not None:
+                self._run_parallel(
+                    context, cells, pending, results, task, use_cache
+                )
+            else:
+                self._run_serial(cells, pending, results, task, use_cache)
+        if self.strict:
+            failures = [r for r in results if isinstance(r, CellFailure)]
+            if failures:
+                raise ExperimentError(
+                    "{} of {} cells failed: {}".format(
+                        len(failures), len(cells),
+                        "; ".join(f.describe() for f in failures[:5]),
+                    ),
+                    failures=failures,
+                )
+        return results
+
+    def run_matrix(self, apps, configs=None, threads=64, seed=DEFAULT_SEED,
+                   machine_config=None):
+        """The full sweep as ``{app: {config: result-or-failure}}``."""
+        from repro.experiments.configs import CONFIG_NAMES
+
+        configs = tuple(configs or CONFIG_NAMES)
+        unknown = [c for c in configs if c not in CONFIG_NAMES]
+        if unknown:
+            raise ConfigError(
+                "unknown configuration(s) {}; choose from {}".format(
+                    ", ".join(map(repr, unknown)), ", ".join(CONFIG_NAMES)
+                )
+            )
+        apps = tuple(apps)
+        cells = [
+            ExperimentCell.make(
+                app, config, threads=threads, seed=seed,
+                machine_config=machine_config,
+            )
+            for app in apps
+            for config in configs
+        ]
+        flat = self.run_cells(cells)
+        matrix = {}
+        position = 0
+        for app in apps:
+            row = {}
+            for config in configs:
+                row[config] = flat[position]
+                position += 1
+            matrix[app] = row
+        return matrix
+
+    # ------------------------------------------------------------------
+    # serial path
+
+    def _run_serial(self, cells, pending, results, task, use_cache):
+        for index in pending:
+            cell = cells[index]
+            try:
+                result = task(cell)
+            except Exception as exc:
+                results[index] = CellFailure(
+                    cell=cell, kind="error",
+                    error_type=type(exc).__name__, message=str(exc),
+                )
+                self.stats.failures += 1
+            else:
+                results[index] = result
+                self.stats.executed += 1
+                if use_cache:
+                    self.cache.put(cell.key(), result)
+
+    # ------------------------------------------------------------------
+    # parallel path
+
+    def _chunks(self, cells, pending):
+        size = self.chunksize
+        if size is None:
+            size = max(1, -(-len(pending) // (self.workers * 4)))
+        work = deque()
+        for start in range(0, len(pending), size):
+            work.append(
+                [(i, cells[i]) for i in pending[start:start + size]]
+            )
+        return work
+
+    def _run_parallel(self, context, cells, pending, results, task,
+                      use_cache):
+        work = self._chunks(cells, pending)
+        attempts = {index: 1 for index in pending}
+        active = []
+        timeout = self.timeout if self.timeout is not None else float("inf")
+
+        def record(index, status, payload):
+            if results[index] is not _PENDING:
+                return  # late duplicate from a terminated worker
+            if status == _OK:
+                results[index] = payload
+                self.stats.executed += 1
+                if use_cache:
+                    self.cache.put(cells[index].key(), payload)
+            else:
+                error_type, message = payload
+                results[index] = CellFailure(
+                    cell=cells[index], kind="error",
+                    error_type=error_type, message=message,
+                    attempts=attempts[index],
+                )
+                self.stats.failures += 1
+
+        def consume(state, message):
+            index, status, payload = message
+            state.remaining.pop(index, None)
+            state.deadline = time.monotonic() + timeout
+            record(index, status, payload)
+
+        def poll(state):
+            try:
+                if state.out_queue.empty():
+                    return None
+                return state.out_queue.get()
+            except (EOFError, OSError):
+                return None
+
+        def drain(state, budget):
+            stop_at = time.monotonic() + budget
+            while True:
+                message = poll(state)
+                if message is not None:
+                    consume(state, message)
+                elif time.monotonic() >= stop_at:
+                    return
+                else:
+                    time.sleep(_POLL_S)
+
+        def retire(index, cell, kind, message=""):
+            if attempts[index] <= self.retries:
+                attempts[index] += 1
+                self.stats.retries += 1
+                work.append([(index, cell)])
+            else:
+                results[index] = CellFailure(
+                    cell=cell, kind=kind, message=message,
+                    attempts=attempts[index],
+                )
+                self.stats.failures += 1
+
+        def launch():
+            while work and len(active) < self.workers:
+                chunk = work.popleft()
+                out_queue = context.SimpleQueue()
+                process = context.Process(
+                    target=_chunk_worker,
+                    args=(chunk, out_queue, task),
+                    daemon=True,
+                )
+                process.start()
+                active.append(_WorkerState(
+                    process=process,
+                    out_queue=out_queue,
+                    remaining=dict(chunk),
+                    deadline=time.monotonic() + timeout,
+                ))
+
+        def stop(state):
+            process = state.process
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+
+        try:
+            launch()
+            while active or work:
+                progressed = False
+                for state in list(active):
+                    while True:
+                        message = poll(state)
+                        if message is None:
+                            break
+                        consume(state, message)
+                        progressed = True
+                    if not state.remaining:
+                        state.process.join(timeout=5.0)
+                        active.remove(state)
+                        progressed = True
+                    elif not state.process.is_alive():
+                        # Crashed mid-chunk: salvage queued results, then
+                        # retry (or fail) the cells that never finished.
+                        drain(state, _DRAIN_BUDGET_S)
+                        for index, cell in list(state.remaining.items()):
+                            retire(
+                                index, cell, "crashed",
+                                "worker exited with code {}".format(
+                                    state.process.exitcode
+                                ),
+                            )
+                        state.process.join(timeout=1.0)
+                        active.remove(state)
+                        progressed = True
+                    elif time.monotonic() >= state.deadline:
+                        # The chunk runs in order, so the first remaining
+                        # cell is the one over budget; later cells never
+                        # started and are requeued without penalty.
+                        stuck = next(iter(state.remaining))
+                        stop(state)
+                        drain(state, _DRAIN_BUDGET_S)
+                        if stuck in state.remaining:
+                            cell = state.remaining.pop(stuck)
+                            retire(
+                                stuck, cell, "timeout",
+                                "exceeded {:.3g}s".format(timeout),
+                            )
+                        innocent = [
+                            (i, c) for i, c in state.remaining.items()
+                            if results[i] is _PENDING
+                        ]
+                        if innocent:
+                            work.append(innocent)
+                        active.remove(state)
+                        progressed = True
+                launch()
+                if not progressed:
+                    time.sleep(_POLL_S)
+        finally:
+            for state in active:
+                stop(state)

@@ -49,6 +49,23 @@ class ExperimentResult:
     def time_breakdown(self):
         return self.total.time_breakdown()
 
+    def identical(self, other):
+        """Field-for-field equality, including energy/time breakdowns,
+        thrifty stats, and oracle metadata (the determinism contract
+        between serial, parallel, and cached execution)."""
+        return (
+            isinstance(other, ExperimentResult)
+            and self.app == other.app
+            and self.config == other.config
+            and self.n_threads == other.n_threads
+            and self.execution_time_ns == other.execution_time_ns
+            and self.barrier_imbalance == other.barrier_imbalance
+            and self.energy_breakdown() == other.energy_breakdown()
+            and self.time_breakdown() == other.time_breakdown()
+            and self.thrifty_stats == other.thrifty_stats
+            and self.oracle_meta == other.oracle_meta
+        )
+
 
 def _summarize_thrifty(barriers):
     totals = {}
@@ -181,15 +198,41 @@ def run_app(
 def run_matrix(
     apps=None, threads=64, seed=DEFAULT_SEED,
     machine_config=None, configs=None,
+    workers=1, cache=None, timeout=None, retries=1, strict=True,
 ):
-    """The full evaluation sweep: {app: {config: ExperimentResult}}."""
+    """The full evaluation sweep: {app: {config: ExperimentResult}}.
+
+    ``workers=1`` with caching disabled takes the classic serial path
+    (one shared Baseline run per app feeds the derived oracles); any
+    other setting routes through the
+    :class:`~repro.experiments.parallel.ExperimentEngine`, which fans
+    cells out over processes and/or the on-disk result cache. Both
+    paths produce field-identical results for the same seed.
+
+    ``cache`` is ``None`` (off), ``True`` (default directory), a path,
+    or a :class:`~repro.experiments.cache.ResultCache`. With
+    ``strict=False`` a failing cell is returned in-place as a
+    :class:`~repro.experiments.parallel.CellFailure` instead of
+    raising.
+    """
     from repro.workloads.splash2 import SPLASH2_NAMES
 
     apps = tuple(apps or SPLASH2_NAMES)
-    return {
-        app: run_app(
-            app, threads=threads, seed=seed,
-            machine_config=machine_config, configs=configs,
-        )
-        for app in apps
-    }
+    if workers == 1 and cache is None:
+        return {
+            app: run_app(
+                app, threads=threads, seed=seed,
+                machine_config=machine_config, configs=configs,
+            )
+            for app in apps
+        }
+    from repro.experiments.parallel import ExperimentEngine
+
+    engine = ExperimentEngine(
+        workers=workers, cache=cache, timeout=timeout,
+        retries=retries, strict=strict,
+    )
+    return engine.run_matrix(
+        apps, configs=configs, threads=threads, seed=seed,
+        machine_config=machine_config,
+    )

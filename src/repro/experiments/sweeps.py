@@ -28,39 +28,74 @@ class ScalingPoint:
     ideal_energy_savings: float
 
 
+_SCALING_CONFIGS = ("baseline", "thrifty", "ideal")
+
+
+def _scaling_point(app, threads, results):
+    baseline = results["baseline"]
+    return ScalingPoint(
+        app=app,
+        threads=threads,
+        imbalance=baseline.barrier_imbalance,
+        thrifty_energy_savings=energy_savings(
+            results["thrifty"], baseline
+        ),
+        thrifty_slowdown=slowdown(results["thrifty"], baseline),
+        ideal_energy_savings=energy_savings(
+            results["ideal"], baseline
+        ),
+    )
+
+
 def thread_scaling(
     app, thread_counts=(8, 16, 32, 64), seed=DEFAULT_SEED,
+    workers=1, cache=None,
 ) -> List[ScalingPoint]:
     """Run one application across machine sizes.
 
     Each point uses a machine with exactly ``threads`` nodes (the
-    paper's dedicated mode).
+    paper's dedicated mode). ``workers``/``cache`` fan the
+    (size x configuration) cells out through the parallel engine;
+    the defaults keep the classic serial loop.
     """
-    points = []
+    thread_counts = tuple(thread_counts)
     for threads in thread_counts:
         if threads < 2 or threads & (threads - 1):
             raise ConfigError(
                 "thread counts must be powers of two >= 2 (hypercube)"
             )
-        results = run_app(
-            app, threads=threads, seed=seed,
-            machine_config=MachineConfig(n_nodes=threads),
-            configs=("baseline", "thrifty", "ideal"),
-        )
-        baseline = results["baseline"]
-        points.append(
-            ScalingPoint(
-                app=app,
-                threads=threads,
-                imbalance=baseline.barrier_imbalance,
-                thrifty_energy_savings=energy_savings(
-                    results["thrifty"], baseline
-                ),
-                thrifty_slowdown=slowdown(results["thrifty"], baseline),
-                ideal_energy_savings=energy_savings(
-                    results["ideal"], baseline
+    if workers == 1 and cache is None:
+        return [
+            _scaling_point(
+                app, threads,
+                run_app(
+                    app, threads=threads, seed=seed,
+                    machine_config=MachineConfig(n_nodes=threads),
+                    configs=_SCALING_CONFIGS,
                 ),
             )
+            for threads in thread_counts
+        ]
+    from repro.experiments.parallel import ExperimentCell, ExperimentEngine
+
+    engine = ExperimentEngine(workers=workers, cache=cache, strict=True)
+    cells = [
+        ExperimentCell.make(
+            app, config, threads=threads, seed=seed,
+            machine_config=MachineConfig(n_nodes=threads),
+        )
+        for threads in thread_counts
+        for config in _SCALING_CONFIGS
+    ]
+    flat = engine.run_cells(cells)
+    points = []
+    for position, threads in enumerate(thread_counts):
+        chunk = flat[
+            position * len(_SCALING_CONFIGS):
+            (position + 1) * len(_SCALING_CONFIGS)
+        ]
+        points.append(
+            _scaling_point(app, threads, dict(zip(_SCALING_CONFIGS, chunk)))
         )
     return points
 
@@ -84,29 +119,34 @@ def scaled_states(states, latency_factor):
 
 def latency_scaling(
     app, factors=(0.25, 0.5, 1.0, 2.0), threads=64, seed=DEFAULT_SEED,
+    workers=1, cache=None,
 ):
     """Thrifty savings as a function of transition-latency scaling.
 
-    Returns ``[(factor, energy_savings, slowdown)]``.
+    Returns ``[(factor, energy_savings, slowdown)]``. As with
+    :func:`thread_scaling`, ``workers``/``cache`` route the cells
+    through the parallel engine.
     """
     from repro.config import DEFAULT_SLEEP_STATES
-    from repro.experiments.runner import run_experiment
+    from repro.experiments.parallel import ExperimentCell, ExperimentEngine
 
-    baseline = run_app(
-        app, threads=threads, seed=seed, configs=("baseline",)
-    )["baseline"]
-    rows = []
-    for factor in factors:
-        states = scaled_states(DEFAULT_SLEEP_STATES, factor)
-        result = run_experiment(
+    factors = tuple(factors)
+    engine = ExperimentEngine(workers=workers, cache=cache, strict=True)
+    cells = [ExperimentCell.make(app, "baseline", threads=threads, seed=seed)]
+    cells.extend(
+        ExperimentCell.make(
             app, "thrifty", threads=threads, seed=seed,
-            sleep_states=states,
+            sleep_states=scaled_states(DEFAULT_SLEEP_STATES, factor),
         )
-        rows.append(
-            (
-                factor,
-                energy_savings(result, baseline),
-                slowdown(result, baseline),
-            )
+        for factor in factors
+    )
+    flat = engine.run_cells(cells)
+    baseline = flat[0]
+    return [
+        (
+            factor,
+            energy_savings(result, baseline),
+            slowdown(result, baseline),
         )
-    return rows
+        for factor, result in zip(factors, flat[1:])
+    ]

@@ -1,5 +1,17 @@
 """Shared fixtures/helpers for barrier-level tests."""
 
+import os
+import tempfile
+
+# Keep the on-disk result cache out of the developer's real cache
+# directory: a persistent cache would serve stale results to tests
+# after simulator changes (its key tracks configuration and package
+# version, not code content). A fresh per-session directory keeps
+# every test run cold while still exercising the cache machinery.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+)
+
 from repro.config import MachineConfig
 from repro.machine import System
 from repro.predict import LastValuePredictor, TimingDomain

@@ -1,0 +1,171 @@
+"""Determinism suite for the parallel experiment engine.
+
+The simulator is bit-exact, so serial and parallel execution of the
+same matrix must produce field-identical :class:`ExperimentResult`\\ s
+— including thrifty stats, oracle metadata, and the energy/time
+breakdowns — in identical order. These tests pin that contract for
+two applications and two seeds, plus the engine's ordering and
+degradation behavior.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.parallel import (
+    ExperimentCell,
+    ExperimentEngine,
+    _fork_context,
+)
+from repro.experiments.runner import ExperimentResult, run_matrix
+
+APPS = ("fmm", "radix")
+SEEDS = (1, 2)
+CONFIGS = ("baseline", "thrifty", "ideal")  # live, thrifty-stats, derived
+THREADS = 8
+
+
+def assert_results_identical(a, b):
+    """Field-for-field comparison, with a readable diff on mismatch."""
+    assert isinstance(a, ExperimentResult), a
+    assert isinstance(b, ExperimentResult), b
+    assert a.app == b.app and a.config == b.config
+    assert a.n_threads == b.n_threads
+    assert a.execution_time_ns == b.execution_time_ns
+    assert a.barrier_imbalance == b.barrier_imbalance
+    assert a.energy_breakdown() == b.energy_breakdown()
+    assert a.time_breakdown() == b.time_breakdown()
+    assert a.thrifty_stats == b.thrifty_stats
+    assert a.oracle_meta == b.oracle_meta
+    assert a.identical(b)
+
+
+def assert_matrices_identical(serial, parallel):
+    assert list(serial) == list(parallel)  # same apps, same order
+    for app in serial:
+        assert list(serial[app]) == list(parallel[app])
+        for config in serial[app]:
+            assert_results_identical(serial[app][config], parallel[app][config])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_parallel_equals_serial(self, seed):
+        serial = run_matrix(
+            apps=APPS, configs=CONFIGS, threads=THREADS, seed=seed,
+            workers=1,
+        )
+        parallel = run_matrix(
+            apps=APPS, configs=CONFIGS, threads=THREADS, seed=seed,
+            workers=4,
+        )
+        assert_matrices_identical(serial, parallel)
+
+    def test_seeds_actually_differ(self):
+        # Guard against the suite above passing vacuously.
+        one = run_matrix(
+            apps=("fmm",), configs=("baseline",), threads=THREADS, seed=1
+        )
+        two = run_matrix(
+            apps=("fmm",), configs=("baseline",), threads=THREADS, seed=2
+        )
+        assert not one["fmm"]["baseline"].identical(two["fmm"]["baseline"])
+
+    def test_engine_serial_path_matches_legacy(self):
+        # workers=1 through the engine (cells, no baseline sharing)
+        # must still equal the classic run_app loop.
+        engine = ExperimentEngine(workers=1, strict=True)
+        via_engine = engine.run_matrix(
+            APPS, configs=CONFIGS, threads=THREADS, seed=1
+        )
+        legacy = run_matrix(
+            apps=APPS, configs=CONFIGS, threads=THREADS, seed=1, workers=1
+        )
+        assert_matrices_identical(legacy, via_engine)
+
+    def test_chunked_dispatch_preserves_results(self):
+        serial = run_matrix(
+            apps=APPS, configs=CONFIGS, threads=THREADS, seed=1
+        )
+        engine = ExperimentEngine(workers=2, chunksize=4, strict=True)
+        chunked = engine.run_matrix(
+            APPS, configs=CONFIGS, threads=THREADS, seed=1
+        )
+        assert_matrices_identical(serial, chunked)
+
+
+class TestOrdering:
+    def test_results_in_submission_order_despite_completion_order(self):
+        # Later cells finish first; results must still land by index.
+        def task(cell):
+            time.sleep(cell["delay"])
+            return cell["name"]
+
+        cells = [
+            {"name": "slow", "delay": 0.4},
+            {"name": "medium", "delay": 0.2},
+            {"name": "fast", "delay": 0.0},
+        ]
+        engine = ExperimentEngine(workers=3, strict=True)
+        assert engine.run_cells(cells, task_fn=task) == [
+            "slow", "medium", "fast"
+        ]
+
+    def test_many_cells_few_workers(self):
+        engine = ExperimentEngine(workers=2, chunksize=3)
+        payloads = list(range(20))
+        out = engine.run_cells(payloads, task_fn=lambda n: n * n)
+        assert out == [n * n for n in payloads]
+        assert engine.stats.executed == 20
+
+
+class TestDegradation:
+    def test_serial_fallback_without_fork(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.parallel._fork_context", lambda: None
+        )
+        engine = ExperimentEngine(workers=4, strict=True)
+        assert engine.run_cells([1, 2, 3], task_fn=lambda n: -n) == [-1, -2, -3]
+
+    def test_fork_context_available_on_linux(self):
+        assert _fork_context() is not None
+
+    def test_single_cell_stays_in_process(self):
+        # One pending cell never pays process overhead.
+        seen = []
+        engine = ExperimentEngine(workers=4, strict=True)
+        engine.run_cells([7], task_fn=lambda n: seen.append(n) or n)
+        assert seen == [7]  # side effect visible => ran in this process
+
+
+class TestValidation:
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentEngine(workers=0)
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentEngine(timeout=-1)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentEngine(retries=-1)
+
+    def test_unknown_config_rejected_before_any_run(self):
+        engine = ExperimentEngine(workers=1)
+        with pytest.raises(ConfigError):
+            engine.run_matrix(("fmm",), configs=("warp-speed",))
+        assert engine.stats.submitted == 0
+
+    def test_overrides_are_canonically_sorted(self):
+        a = ExperimentCell.make(
+            "fmm", "thrifty", overprediction_threshold=0.2,
+            underprediction_factor=3.0,
+        )
+        b = ExperimentCell.make(
+            "fmm", "thrifty", underprediction_factor=3.0,
+            overprediction_threshold=0.2,
+        )
+        assert a == b
+        assert a.key() == b.key()
