@@ -11,6 +11,7 @@ The package is organized bottom-up:
 * :mod:`repro.predict` -- BIT/BRTS/BST bookkeeping and predictors;
 * :mod:`repro.sync` -- conventional, thrifty, oracle, and baseline barriers;
 * :mod:`repro.workloads` -- SPLASH-2-calibrated workload models;
+* :mod:`repro.telemetry` -- structured tracing, metrics, and timeline export;
 * :mod:`repro.experiments` -- the harness reproducing every table and figure.
 
 The top-level names below are loaded lazily so that importing a low-level
@@ -18,7 +19,7 @@ subpackage (for instance :mod:`repro.sim` in a unit test) does not pull in
 the whole stack.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _LAZY = {
     "MachineConfig": ("repro.config", "MachineConfig"),
@@ -27,6 +28,9 @@ _LAZY = {
     "CONFIG_NAMES": ("repro.experiments.configs", "CONFIG_NAMES"),
     "run_experiment": ("repro.experiments.runner", "run_experiment"),
     "run_matrix": ("repro.experiments.runner", "run_matrix"),
+    "MetricsRegistry": ("repro.telemetry.metrics", "MetricsRegistry"),
+    "Tracer": ("repro.telemetry.tracer", "Tracer"),
+    "TelemetrySnapshot": ("repro.telemetry.tracer", "TelemetrySnapshot"),
 }
 
 __all__ = sorted(_LAZY) + ["__version__"]

@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any table or figure.
+"""Command-line interface: regenerate any table or figure, or trace a run.
 
 Examples
 --------
@@ -8,6 +8,17 @@ Examples
     thrifty-barrier figure5 --threads 64
     thrifty-barrier headline
     python -m repro figure3
+
+Telemetry surface::
+
+    repro run --app fmm --config thrifty --threads 16 --trace out.json
+    repro trace --app fmm --threads 16
+    repro metrics --app ocean --config thrifty-halt --threads 16
+
+``run`` executes one (application, configuration) cell with tracing on
+and prints its summary; ``--trace`` writes a Perfetto-loadable Chrome
+trace, ``--metrics-csv`` a CSV metric dump. ``trace`` prints the
+human-readable timeline digest; ``metrics`` the full metrics tables.
 """
 
 import argparse
@@ -23,6 +34,9 @@ _ARTIFACTS = (
     "headline", "all",
 )
 
+#: Telemetry commands operating on a single (app, config) cell.
+_CELL_COMMANDS = ("run", "trace", "metrics")
+
 
 def build_parser():
     parser = argparse.ArgumentParser(
@@ -33,8 +47,26 @@ def build_parser():
         ),
     )
     parser.add_argument(
-        "artifact", choices=_ARTIFACTS,
-        help="which artifact to regenerate",
+        "artifact", choices=_ARTIFACTS + _CELL_COMMANDS,
+        help="which artifact to regenerate, or a telemetry command "
+             "(run / trace / metrics) on one experiment cell",
+    )
+    parser.add_argument(
+        "--app", default="fmm", metavar="APP",
+        help="application for run/trace/metrics (default fmm)",
+    )
+    parser.add_argument(
+        "--config", default="thrifty", metavar="CFG",
+        help="configuration for run/trace/metrics (default thrifty)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Perfetto-loadable Chrome trace of the cell "
+             "(run/trace/metrics only)",
+    )
+    parser.add_argument(
+        "--metrics-csv", metavar="PATH", default=None,
+        help="write the cell's metrics as CSV (run/trace/metrics only)",
     )
     parser.add_argument(
         "--apps", nargs="*", default=None, metavar="APP",
@@ -94,15 +126,80 @@ def _cache_argument(args):
     return True
 
 
+def _run_cell_command(args):
+    """The run / trace / metrics telemetry commands: one traced cell."""
+    from repro.experiments.configs import CONFIG_NAMES
+    from repro.experiments.runner import run_experiment
+    from repro.telemetry.export import metrics_to_csv, write_chrome_trace
+
+    if args.config not in CONFIG_NAMES:
+        print(
+            "unknown configuration {!r}; choose from {}".format(
+                args.config, ", ".join(CONFIG_NAMES)
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    result = run_experiment(
+        args.app, args.config, threads=args.threads, seed=args.seed,
+        telemetry=True,
+    )
+    snapshot = result.telemetry
+    if args.artifact == "run":
+        _emit(report.render_table(
+            ("Field", "Value"),
+            [
+                ("app", result.app),
+                ("config", result.config),
+                ("threads", result.n_threads),
+                ("execution time", "{:,} ns".format(
+                    result.execution_time_ns
+                )),
+                ("energy", "{:.3f} J".format(result.energy_joules)),
+                ("barrier imbalance", "{:.4f}".format(
+                    result.barrier_imbalance
+                )),
+                ("events traced", "{:,}".format(len(snapshot.events))),
+            ],
+            title="Cell summary",
+        ))
+        _emit(report.render_metrics(
+            snapshot.metrics, title="Cell metrics",
+            prefixes=("barrier.", "sleep.", "wake.", "predictor."),
+        ))
+    elif args.artifact == "trace":
+        _emit(report.render_trace_summary(snapshot.events))
+    else:  # metrics
+        _emit(report.render_metrics(snapshot.metrics))
+    if args.trace:
+        write_chrome_trace(
+            snapshot.events, args.trace,
+            process_name="{} {}".format(result.app, result.config),
+        )
+        print("chrome trace written to {} ({:,} events; open in "
+              "https://ui.perfetto.dev)".format(
+                  args.trace, len(snapshot.events)))
+    if args.metrics_csv:
+        metrics_to_csv(snapshot.metrics, args.metrics_csv)
+        print("metrics CSV written to {}".format(args.metrics_csv))
+    return 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.artifact in _CELL_COMMANDS:
+        return _run_cell_command(args)
+    from repro.telemetry.metrics import MetricsRegistry
+
     needs_matrix = args.artifact in ("figure5", "figure6", "headline", "all")
     matrix = None
+    engine_metrics = MetricsRegistry()
     if needs_matrix:
         matrix = run_matrix(
             apps=args.apps, threads=args.threads, seed=args.seed,
             workers=args.workers or None,
             cache=_cache_argument(args),
+            metrics=engine_metrics,
         )
     if args.artifact in ("table1", "all"):
         rows, validation = tables.table1_rows()
@@ -141,6 +238,11 @@ def main(argv=None):
             matrix_to_json(matrix, path=args.json)
         if args.csv:
             records_to_csv(matrix_to_records(matrix), args.csv)
+    if matrix is not None and len(engine_metrics):
+        _emit(report.render_metrics(
+            engine_metrics, title="Run summary — engine & cache counters",
+            prefixes=("engine.", "cache."),
+        ))
     return 0
 
 

@@ -21,11 +21,19 @@ class Category(enum.Enum):
 
 
 class EnergyAccount:
-    """Accumulates joules and nanoseconds per :class:`Category`."""
+    """Accumulates joules and nanoseconds per :class:`Category`.
 
-    def __init__(self):
+    ``telemetry`` is an optional :class:`~repro.telemetry.tracer.Tracer`;
+    when enabled, every closed segment also feeds the per-category
+    residency counters of its metrics registry (``energy.time_ns[...]``
+    / ``energy.joules[...]``). Disabled or absent telemetry costs one
+    branch per segment.
+    """
+
+    def __init__(self, telemetry=None):
         self._energy_j = {category: 0.0 for category in Category}
         self._time_ns = {category: 0 for category in Category}
+        self._telemetry = telemetry
 
     def add(self, category, duration_ns, power_watts=None, energy_joules=None):
         """Record a segment.
@@ -46,6 +54,22 @@ class EnergyAccount:
             raise SimulationError("segment energy must be non-negative")
         self._energy_j[category] += energy_joules
         self._time_ns[category] += duration_ns
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter(
+                "energy.time_ns[{}]".format(category.value)
+            ).inc(duration_ns)
+            metrics.counter(
+                "energy.joules[{}]".format(category.value)
+            ).inc(energy_joules)
+
+    def __getstate__(self):
+        # The tracer is a live, run-scoped object; ledgers travel (into
+        # worker-process results, the on-disk cache) without it.
+        state = dict(self.__dict__)
+        state["_telemetry"] = None
+        return state
 
     def energy_joules(self, category=None):
         """Energy in one category, or total when ``category`` is None."""

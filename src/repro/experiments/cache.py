@@ -75,11 +75,16 @@ def _canonical(value):
     )
 
 
-def content_key(app, config, threads, seed, machine_config, overrides=None):
+def content_key(
+    app, config, threads, seed, machine_config, overrides=None,
+    telemetry=False,
+):
     """Stable hex digest identifying one experiment cell.
 
     Any perturbation of any field — including nested fields of the
-    machine config and a bump of the package version — yields a new key.
+    machine config, the ``telemetry`` flag (a traced result carries the
+    event stream a plain one does not), and a bump of the package
+    version — yields a new key.
     """
     payload = {
         "version": __version__,
@@ -89,6 +94,7 @@ def content_key(app, config, threads, seed, machine_config, overrides=None):
         "seed": seed,
         "machine": _canonical(machine_config),
         "overrides": _canonical(dict(overrides or {})),
+        "telemetry": bool(telemetry),
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -27,7 +27,7 @@ import multiprocessing
 import os
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.config import MachineConfig
@@ -54,7 +54,9 @@ class ExperimentCell:
 
     ``overrides`` is a sorted tuple of ``(name, value)`` pairs (the
     thrifty-policy keyword overrides of ``run_experiment``) so the cell
-    is hashable and canonically ordered.
+    is hashable and canonically ordered. ``telemetry`` asks the cell to
+    trace its simulation; it participates in the content key because a
+    traced result carries the event stream a plain result does not.
     """
 
     app: str
@@ -63,14 +65,16 @@ class ExperimentCell:
     seed: int = DEFAULT_SEED
     machine_config: Optional[MachineConfig] = None
     overrides: tuple = ()
+    telemetry: bool = False
 
     @classmethod
     def make(cls, app, config, threads=64, seed=DEFAULT_SEED,
-             machine_config=None, **overrides):
+             machine_config=None, telemetry=False, **overrides):
         return cls(
             app=app, config=config, threads=threads, seed=seed,
             machine_config=machine_config,
             overrides=tuple(sorted(overrides.items())),
+            telemetry=telemetry,
         )
 
     def key(self):
@@ -79,6 +83,7 @@ class ExperimentCell:
             self.app, self.config, self.threads, self.seed,
             self.machine_config or MachineConfig(),
             dict(self.overrides),
+            telemetry=self.telemetry,
         )
 
 
@@ -136,8 +141,23 @@ def _run_cell(cell):
 
     return run_experiment(
         cell.app, cell.config, threads=cell.threads, seed=cell.seed,
-        machine_config=cell.machine_config, **dict(cell.overrides)
+        machine_config=cell.machine_config, telemetry=cell.telemetry,
+        **dict(cell.overrides)
     )
+
+
+def record_engine_metrics(metrics, engine):
+    """Fold an engine's (and its cache's) counters into a registry.
+
+    This is the bridge the CLI run summary uses: ``engine.*`` counters
+    mirror :class:`EngineStats`, ``cache.*`` counters mirror
+    :meth:`~repro.experiments.cache.ResultCache.stats`.
+    """
+    for name, value in engine.stats.as_dict().items():
+        metrics.counter("engine.{}".format(name)).inc(value)
+    if engine.cache is not None:
+        for name, value in engine.cache.stats().items():
+            metrics.counter("cache.{}".format(name)).inc(value)
 
 
 def _chunk_worker(chunk, out_queue, task_fn):

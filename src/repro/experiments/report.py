@@ -173,6 +173,142 @@ def render_bar_chart(rows, value_key="total", width=40, label_keys=("app", "conf
     return "\n".join(lines)
 
 
+def render_metrics(snapshot, title="Telemetry metrics", prefixes=None):
+    """Render a metrics snapshot (or registry) as aligned tables.
+
+    ``prefixes`` optionally restricts the output to metric names
+    starting with any of the given strings (e.g. ``("cache.",
+    "engine.")`` for the CLI run summary).
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+
+    def keep(name):
+        return prefixes is None or any(
+            name.startswith(prefix) for prefix in prefixes
+        )
+
+    sections = []
+    counter_rows = [
+        (name, value)
+        for name, value in snapshot.get("counters", {}).items()
+        if keep(name)
+    ]
+    gauge_rows = [
+        (name, value)
+        for name, value in snapshot.get("gauges", {}).items()
+        if keep(name)
+    ]
+    scalar_rows = [
+        (name, _format_metric_value(value))
+        for name, value in sorted(counter_rows + gauge_rows)
+    ]
+    if scalar_rows:
+        sections.append(render_table(
+            ("Metric", "Value"), scalar_rows, title=title,
+        ))
+    histogram_rows = []
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    for name, body in snapshot.get("histograms", {}).items():
+        if not keep(name):
+            continue
+        histogram = registry.histogram(name, bounds=tuple(body["bounds"]))
+        histogram_rows.append((
+            name,
+            body["count"],
+            _format_metric_value(histogram.mean()),
+            _format_metric_value(histogram.quantile(0.5)),
+            _format_metric_value(histogram.quantile(0.95)),
+            _format_metric_value(body["max"] if body["count"] else 0),
+        ))
+    if histogram_rows:
+        sections.append(render_table(
+            ("Histogram", "Count", "Mean", "~p50", "~p95", "Max"),
+            histogram_rows,
+            title=None if scalar_rows else title,
+        ))
+    if not sections:
+        return "{}\n(no metrics recorded)".format(title)
+    return "\n\n".join(sections)
+
+
+def _format_metric_value(value):
+    if isinstance(value, float) and not value.is_integer():
+        return "{:.4g}".format(value)
+    return "{:,}".format(int(value))
+
+
+def render_trace_summary(events):
+    """Human-readable digest of a telemetry event stream.
+
+    One table of event counts by kind, one per-barrier table (dynamic
+    instances, mean measured BIT, sleeps, wake-source mix) — the
+    ``repro trace`` CLI surface.
+    """
+    from repro.telemetry.events import (
+        BarrierCheckIn,
+        BarrierRelease,
+        SleepExit,
+        WakeUp,
+    )
+
+    kinds = {}
+    per_pc = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        if isinstance(event, BarrierRelease):
+            entry = per_pc.setdefault(
+                event.pc, {"instances": 0, "bit_sum": 0, "sleeps": 0,
+                           "timer": 0, "invalidation": 0},
+            )
+            entry["instances"] += 1
+            entry["bit_sum"] += event.bit_ns or 0
+        elif isinstance(event, WakeUp):
+            entry = per_pc.setdefault(
+                event.pc, {"instances": 0, "bit_sum": 0, "sleeps": 0,
+                           "timer": 0, "invalidation": 0},
+            )
+            entry["sleeps"] += 1
+            if event.source in entry:
+                entry[event.source] += 1
+    threads = {
+        event.thread for event in events
+        if isinstance(event, (BarrierCheckIn, SleepExit))
+    }
+    kind_table = render_table(
+        ("Event", "Count"),
+        [(kind, "{:,}".format(kinds[kind])) for kind in sorted(kinds)],
+        title="Trace digest: {:,} events, {} threads".format(
+            len(events), len(threads)
+        ),
+    )
+    if not per_pc:
+        return kind_table
+    barrier_rows = []
+    for pc in sorted(per_pc):
+        entry = per_pc[pc]
+        mean_bit = (
+            entry["bit_sum"] / entry["instances"] if entry["instances"]
+            else 0
+        )
+        barrier_rows.append((
+            pc,
+            entry["instances"],
+            "{:,.0f}".format(mean_bit),
+            entry["sleeps"],
+            entry["timer"],
+            entry["invalidation"],
+        ))
+    barrier_table = render_table(
+        ("Barrier", "Instances", "Mean BIT (ns)", "Sleeps",
+         "Timer wakes", "INV wakes"),
+        barrier_rows,
+    )
+    return kind_table + "\n\n" + barrier_table
+
+
 def render_headline(matrix):
     summary = headline_summary(matrix)
     rows = []

@@ -21,6 +21,11 @@ from repro.experiments.configs import (
 )
 from repro.machine import System
 from repro.sync import ThriftyBarrier, oracle_rerun
+from repro.telemetry.tracer import (
+    TelemetrySnapshot,
+    Tracer,
+    collect_run_metrics,
+)
 from repro.workloads import WorkloadRunner, get_model
 
 DEFAULT_SEED = 1
@@ -28,7 +33,13 @@ DEFAULT_SEED = 1
 
 @dataclass
 class ExperimentResult:
-    """One (application, configuration) measurement."""
+    """One (application, configuration) measurement.
+
+    ``telemetry`` is populated only when the cell was run with tracing
+    requested: the full typed event stream and the metrics snapshot of
+    the simulation that produced this result (for the derived oracle
+    configurations, of the Baseline simulation they replay).
+    """
 
     app: str
     config: str
@@ -38,6 +49,7 @@ class ExperimentResult:
     barrier_imbalance: float
     thrifty_stats: dict = field(default_factory=dict)
     oracle_meta: Optional[dict] = None
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def energy_joules(self):
@@ -64,6 +76,7 @@ class ExperimentResult:
             and self.time_breakdown() == other.time_breakdown()
             and self.thrifty_stats == other.thrifty_stats
             and self.oracle_meta == other.oracle_meta
+            and self.telemetry == other.telemetry
         )
 
 
@@ -123,9 +136,12 @@ def _derived_result(app, config_name, baseline_run):
     )
 
 
-def _run_live(app, config_name, threads, seed, machine_config, overrides):
+def _run_live(
+    app, config_name, threads, seed, machine_config, overrides,
+    telemetry=None,
+):
     model = get_model(app)
-    system = System(machine_config or MachineConfig())
+    system = System(machine_config or MachineConfig(), telemetry=telemetry)
     runner = WorkloadRunner(
         model,
         system=system,
@@ -133,32 +149,61 @@ def _run_live(app, config_name, threads, seed, machine_config, overrides):
         seed=seed,
         barrier_factory=barrier_factory_for(config_name, **overrides),
     )
-    return runner.run()
+    run = runner.run()
+    if telemetry is not None and telemetry.enabled:
+        collect_run_metrics(telemetry, system, run)
+    return run
+
+
+def _coerce_tracer(telemetry):
+    """Normalize ``run_experiment``'s ``telemetry`` argument.
+
+    ``False``/``None`` → no tracing; ``True`` → a fresh enabled
+    :class:`~repro.telemetry.tracer.Tracer`; an existing tracer is used
+    as-is.
+    """
+    if not telemetry:
+        return None
+    if telemetry is True:
+        return Tracer()
+    return telemetry
 
 
 def run_experiment(
     app, config, threads=64, seed=DEFAULT_SEED,
-    machine_config=None, **thrifty_overrides,
+    machine_config=None, telemetry=False, **thrifty_overrides,
 ):
     """Run one cell; derived configurations run their Baseline first.
 
-    Returns an :class:`ExperimentResult`.
+    With ``telemetry`` truthy (``True`` or a
+    :class:`~repro.telemetry.tracer.Tracer`), the simulation is traced
+    and the result carries a
+    :class:`~repro.telemetry.tracer.TelemetrySnapshot`; for derived
+    (oracle) configurations this is the snapshot of the Baseline
+    simulation they replay. Returns an :class:`ExperimentResult`.
     """
+    tracer = _coerce_tracer(telemetry)
     if config in LIVE_CONFIGS:
         run = _run_live(
-            app, config, threads, seed, machine_config, thrifty_overrides
+            app, config, threads, seed, machine_config, thrifty_overrides,
+            telemetry=tracer,
         )
-        return _live_result(app, config, run)
-    if config in DERIVED_CONFIGS:
+        result = _live_result(app, config, run)
+    elif config in DERIVED_CONFIGS:
         baseline_run = _run_live(
-            app, "baseline", threads, seed, machine_config, {}
+            app, "baseline", threads, seed, machine_config, {},
+            telemetry=tracer,
         )
-        return _derived_result(app, config, baseline_run)
-    raise ConfigError(
-        "unknown configuration {!r}; choose from {}".format(
-            config, ", ".join(CONFIG_NAMES)
+        result = _derived_result(app, config, baseline_run)
+    else:
+        raise ConfigError(
+            "unknown configuration {!r}; choose from {}".format(
+                config, ", ".join(CONFIG_NAMES)
+            )
         )
-    )
+    if tracer is not None:
+        result.telemetry = tracer.snapshot()
+    return result
 
 
 def run_app(
@@ -199,6 +244,7 @@ def run_matrix(
     apps=None, threads=64, seed=DEFAULT_SEED,
     machine_config=None, configs=None,
     workers=1, cache=None, timeout=None, retries=1, strict=True,
+    metrics=None,
 ):
     """The full evaluation sweep: {app: {config: ExperimentResult}}.
 
@@ -214,25 +260,47 @@ def run_matrix(
     ``strict=False`` a failing cell is returned in-place as a
     :class:`~repro.experiments.parallel.CellFailure` instead of
     raising.
+
+    ``metrics`` is an optional
+    :class:`~repro.telemetry.metrics.MetricsRegistry`; when given, the
+    engine and result-cache counters (submitted / executed / cache
+    hits, misses, errors) are recorded into it, which is how the CLI
+    surfaces them in its run summary.
     """
     from repro.workloads.splash2 import SPLASH2_NAMES
 
     apps = tuple(apps or SPLASH2_NAMES)
     if workers == 1 and cache is None:
-        return {
+        matrix = {
             app: run_app(
                 app, threads=threads, seed=seed,
                 machine_config=machine_config, configs=configs,
             )
             for app in apps
         }
-    from repro.experiments.parallel import ExperimentEngine
+        if metrics is not None:
+            # Mirror the engine-path counter set exactly, so serial and
+            # parallel runs print byte-identical CLI summaries.
+            cells = sum(len(row) for row in matrix.values())
+            for name, value in (
+                ("submitted", cells), ("cache_hits", 0),
+                ("executed", cells), ("failures", 0), ("retries", 0),
+            ):
+                metrics.counter("engine.{}".format(name)).inc(value)
+        return matrix
+    from repro.experiments.parallel import (
+        ExperimentEngine,
+        record_engine_metrics,
+    )
 
     engine = ExperimentEngine(
         workers=workers, cache=cache, timeout=timeout,
         retries=retries, strict=strict,
     )
-    return engine.run_matrix(
+    matrix = engine.run_matrix(
         apps, configs=configs, threads=threads, seed=seed,
         machine_config=machine_config,
     )
+    if metrics is not None:
+        record_engine_metrics(metrics, engine)
+    return matrix

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from repro.energy.accounting import Category, EnergyAccount
 from repro.energy.states import ramp_energy
 from repro.errors import SimulationError
+from repro.telemetry.events import SleepEnter, SleepExit
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass
@@ -43,12 +45,15 @@ class SleepOutcome:
 class Cpu:
     """One processor of the machine."""
 
-    def __init__(self, sim, node_id, power, refill_per_line_ns=100):
+    def __init__(
+        self, sim, node_id, power, refill_per_line_ns=100, telemetry=None,
+    ):
         self.sim = sim
         self.node_id = node_id
         self.power = power
         self.refill_per_line_ns = refill_per_line_ns
-        self.account = EnergyAccount()
+        self.telemetry = telemetry if telemetry is not None else NULL_TRACER
+        self.account = EnergyAccount(telemetry=self.telemetry)
         self._refill_debt_ns = 0
         self.sleep_outcomes = []
 
@@ -147,6 +152,12 @@ class Cpu:
             Extra dirty footprint (workload-model lines) to flush.
         """
         entered_at = self.sim.now
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(SleepEnter(
+                ts=entered_at, thread=self.node_id, state=state.name,
+                flush_lines=flush_lines,
+            ))
         flushed = 0
         flush_ns = 0
         if not state.snoops:
@@ -206,4 +217,10 @@ class Cpu:
             wake_completed_at=self.sim.now,
         )
         self.sleep_outcomes.append(outcome)
+        if telemetry.enabled:
+            telemetry.emit(SleepExit(
+                ts=self.sim.now, thread=self.node_id, state=state.name,
+                entered_ts=entered_at, resident_ns=resident_ns,
+                flush_ns=flush_ns, flushed_lines=flushed,
+            ))
         return outcome

@@ -12,7 +12,7 @@ from repro.machine.cpu import Cpu
 class Node:
     """A processor node, wired into the shared memory system."""
 
-    def __init__(self, sim, node_id, memsys, power):
+    def __init__(self, sim, node_id, memsys, power, telemetry=None):
         self.sim = sim
         self.node_id = node_id
         self.memsys = memsys
@@ -21,6 +21,7 @@ class Node:
         self.cpu = Cpu(
             sim, node_id, power,
             refill_per_line_ns=memsys.config.refill_per_line_ns,
+            telemetry=telemetry,
         )
 
     # -- memory operations, charged as compute time ------------------------

@@ -7,6 +7,7 @@ from repro.errors import ConfigError, SimulationError
 from repro.machine.node import Node
 from repro.machine.power import CpuPower
 from repro.sim import Simulator
+from repro.telemetry.tracer import NULL_TRACER
 
 
 #: Shared-address region used by synchronization structures; kept well
@@ -27,16 +28,22 @@ class System:
     1000
     """
 
-    def __init__(self, config=None, energy_config=None, power=None):
+    def __init__(
+        self, config=None, energy_config=None, power=None, telemetry=None,
+    ):
         self.config = config or MachineConfig()
         self.energy_config = energy_config or EnergyConfig()
         self.sim = Simulator()
         self.power = power or CpuPower.calibrate(
             self.config, self.energy_config
         )
+        self.telemetry = telemetry if telemetry is not None else NULL_TRACER
         self.memsys = MemorySystem(self.sim, self.config)
         self.nodes = [
-            Node(self.sim, node_id, self.memsys, self.power)
+            Node(
+                self.sim, node_id, self.memsys, self.power,
+                telemetry=self.telemetry,
+            )
             for node_id in range(self.config.n_nodes)
         ]
         self._shared_cursor = SHARED_BASE

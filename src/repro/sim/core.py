@@ -7,6 +7,7 @@ generator processes resumed by callbacks.
 """
 
 import heapq
+import inspect
 import itertools
 import operator
 
@@ -39,14 +40,57 @@ class Handle:
         return "Handle(t={}, seq={}, {})".format(self.time, self.seq, state)
 
 
+def _trace_accepts_cancelled(trace):
+    """True when a trace hook can take the ``cancelled`` keyword."""
+    try:
+        signature = inspect.signature(trace)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if (
+            parameter.name == "cancelled"
+            and parameter.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ):
+            return True
+    return False
+
+
 class Simulator:
     """A deterministic discrete-event simulator with integer time.
 
     Parameters
     ----------
     trace:
-        Optional callable invoked as ``trace(now, fn, args)`` before each
-        callback runs; useful for debugging schedules in tests.
+        Optional debug hook observing every scheduled callback as it is
+        *dequeued*. The contract:
+
+        * For a callback that is about to execute, the hook is invoked
+          as ``trace(now, fn, args)`` immediately before ``fn(*args)``
+          runs, with the clock already advanced to the callback's time.
+        * For a callback whose :class:`Handle` was cancelled, the
+          dequeue is also reported — as ``trace(time, fn, args,
+          cancelled=True)`` — but **only** when the hook's signature
+          accepts a ``cancelled`` keyword (otherwise cancelled skips
+          are silently dropped, preserving the legacy three-argument
+          hook behaviour). Without this, cancelled callbacks vanish
+          invisibly, which makes wake-race debugging misleading: the
+          loser of a hybrid wake-up race looks like it never existed.
+        * The clock is **not** advanced for a cancelled skip, and the
+          hook may observe the same cancelled handle only once.
+
+        Hooks that want both streams simply declare
+        ``def hook(now, fn, args, cancelled=False)``.
+
+    Counters
+    --------
+    :attr:`executed` and :attr:`skipped_cancelled` count dequeued
+    callbacks over the simulator's lifetime; the telemetry layer
+    harvests them after a run.
     """
 
     def __init__(self, trace=None):
@@ -54,7 +98,12 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0
         self._trace = trace
+        self._trace_cancelled = (
+            trace is not None and _trace_accepts_cancelled(trace)
+        )
         self._running = False
+        self.executed = 0
+        self.skipped_cancelled = 0
 
     @property
     def now(self):
@@ -96,16 +145,24 @@ class Simulator:
         """Start a generator process; returns its :class:`Process` event."""
         return Process(self, generator, name=name)
 
+    def _skip_cancelled(self, handle):
+        """Account (and optionally report) one cancelled dequeue."""
+        self.skipped_cancelled += 1
+        if self._trace_cancelled:
+            self._trace(handle.time, handle.fn, handle.args, cancelled=True)
+
     def step(self):
         """Run the single earliest callback; returns False if queue is empty."""
         while self._queue:
             handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                self._skip_cancelled(handle)
                 continue
             self._now = handle.time
             if self._trace is not None:
                 self._trace(self._now, handle.fn, handle.args)
             handle.fn(*handle.args)
+            self.executed += 1
             return True
         return False
 
@@ -129,7 +186,7 @@ class Simulator:
             while self._queue:
                 head = self._queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    self._skip_cancelled(heapq.heappop(self._queue))
                     continue
                 if until is not None and head.time > until:
                     self._now = max(self._now, operator.index(until))

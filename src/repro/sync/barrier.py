@@ -8,6 +8,11 @@ trace instrumentation, and the BRTS bookkeeping hooks.
 from repro.energy.accounting import Category
 from repro.errors import SimulationError
 from repro.sync.trace import BarrierTrace
+from repro.telemetry.events import (
+    BarrierCheckIn,
+    BarrierDepart,
+    BarrierRelease,
+)
 
 
 class BarrierBase:
@@ -50,6 +55,7 @@ class BarrierBase:
         self.n_threads = n_threads
         self.pc = pc
         self.trace = trace if trace is not None else BarrierTrace()
+        self.telemetry = system.telemetry
         self.count_addr = system.alloc_shared()
         self.flag_addr = system.alloc_shared()
         self._local_sense = [0] * max(system.n_nodes, n_threads)
@@ -89,6 +95,12 @@ class BarrierBase:
                 Category.SPIN,
                 self.memsys.store(node.node_id, self.count_addr, 0),
             )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(BarrierCheckIn(
+                ts=record.arrivals[thread_id], thread=thread_id,
+                pc=self.pc, sequence=record.sequence, is_last=is_last,
+            ))
         return is_last, record
 
     def _release(self, node, sense, record, thread_id=None):
@@ -100,6 +112,13 @@ class BarrierBase:
         record.release_ts = self.sim.now
         record.last_thread = node.node_id if thread_id is None else thread_id
         self.domain.instances_released += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(BarrierRelease(
+                ts=record.release_ts, thread=record.last_thread,
+                pc=self.pc, sequence=record.sequence,
+                bit_ns=record.measured_bit,
+            ))
         yield from node.cpu.mem_op_as(
             Category.SPIN,
             self.memsys.store(node.node_id, self.flag_addr, sense),
@@ -162,6 +181,14 @@ class BarrierBase:
     def _depart(self, node, record, thread_id=None):
         thread_id = node.node_id if thread_id is None else thread_id
         record.departures[thread_id] = self.sim.now
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            arrived = record.arrivals.get(thread_id, self.sim.now)
+            telemetry.emit(BarrierDepart(
+                ts=self.sim.now, thread=thread_id, pc=self.pc,
+                sequence=record.sequence, arrived_ts=arrived,
+                stall_ns=record.stall_ns(thread_id) or 0,
+            ))
 
     def wait(self, node, dirty_lines=0):
         """Pass the barrier; must be overridden by each variant."""

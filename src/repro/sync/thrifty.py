@@ -36,6 +36,14 @@ from repro.predict.thresholds import is_overpredicted, should_update_predictor
 from repro.sim.events import AnyOf
 from repro.sync.barrier import BarrierBase
 from repro.sync.trace import SleepRecord
+from repro.telemetry.events import (
+    LateWake,
+    PredictorDisable,
+    PredictorFiltered,
+    PredictorHit,
+    PredictorTrain,
+    WakeUp,
+)
 
 #: Cycles spent running the prediction/selection code at check-in — the
 #: "lightweight control algorithm" whose cost Kumar et al. found
@@ -158,6 +166,12 @@ class ThriftyBarrier(BarrierBase):
         self.stats.sleeps_by_state[state.name] = (
             self.stats.sleeps_by_state.get(state.name, 0) + 1
         )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(WakeUp(
+                ts=self.sim.now, thread=node.node_id, pc=self.pc,
+                source=woke_by, state=state.name,
+            ))
         record.sleeps[node.node_id] = SleepRecord(
             state_name=state.name,
             resident_ns=outcome.resident_ns,
@@ -183,6 +197,13 @@ class ThriftyBarrier(BarrierBase):
             Category.SPIN, _overhead(self.sim, PREDICTION_OVERHEAD_NS)
         )
         est_wake_ts, est_stall = self.domain.estimate(self.pc, thread_id)
+        telemetry = self.telemetry
+        if telemetry.enabled and est_stall is not None:
+            telemetry.emit(PredictorHit(
+                ts=self.sim.now, thread=thread_id, pc=self.pc,
+                predicted_ns=est_wake_ts - self.domain.brts(thread_id),
+                est_stall_ns=est_stall,
+            ))
         wake_ts = None
         if est_stall is None:
             if self.domain.predictor is not None and (
@@ -217,12 +238,21 @@ class ThriftyBarrier(BarrierBase):
             sleep_record = record.sleeps.get(thread_id)
             if sleep_record is not None:
                 sleep_record.penalty_ns = max(0, penalty)
+            if telemetry.enabled:
+                telemetry.emit(LateWake(
+                    ts=self.sim.now, thread=thread_id, pc=self.pc,
+                    penalty_ns=max(0, penalty),
+                ))
             if is_overpredicted(
                 wake_ts, release_ts, bit,
                 threshold=self.config.overprediction_threshold,
             ):
                 self.domain.predictor.disable(self.pc, thread_id)
                 self.stats.cutoff_disables += 1
+                if telemetry.enabled:
+                    telemetry.emit(PredictorDisable(
+                        ts=self.sim.now, thread=thread_id, pc=self.pc,
+                    ))
         self._depart(node, record)
         return record
 
@@ -232,15 +262,27 @@ class ThriftyBarrier(BarrierBase):
         bit = self.domain.measure_bit(thread_id)
         record.measured_bit = bit
         predictor = self.domain.predictor
+        telemetry = self.telemetry
         if predictor is not None:
+            previous = predictor.peek(self.pc)
             if should_update_predictor(
-                predictor.peek(self.pc), bit,
+                previous, bit,
                 factor=self.config.underprediction_factor,
             ):
                 predictor.update(self.pc, bit)
+                if telemetry.enabled:
+                    telemetry.emit(PredictorTrain(
+                        ts=self.sim.now, thread=thread_id, pc=self.pc,
+                        bit_ns=bit, predicted_ns=previous,
+                    ))
             else:
                 predictor.note_filtered_update()
                 self.stats.filtered_updates += 1
+                if telemetry.enabled:
+                    telemetry.emit(PredictorFiltered(
+                        ts=self.sim.now, thread=thread_id, pc=self.pc,
+                        bit_ns=bit,
+                    ))
         # Publish the BIT; a write fence orders it before the flag flip
         # under release consistency (footnote 1 of the paper). The
         # simulator's in-order per-thread execution provides the fence.

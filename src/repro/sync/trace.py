@@ -8,16 +8,11 @@ post-hoc accounting. The simulated algorithm never reads it.
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+# SleepRecord was promoted into the telemetry event model; this alias
+# keeps ``repro.sync.trace.SleepRecord`` importable (same class object).
+from repro.telemetry.events import SleepRecord
 
-@dataclass
-class SleepRecord:
-    """One thread's sleep at one barrier instance."""
-
-    state_name: str
-    resident_ns: int
-    flushed_lines: int
-    woke_by: str  # "timer" | "invalidation" | "aborted"
-    penalty_ns: int = 0
+__all__ = ["BarrierTrace", "InstanceRecord", "SleepRecord"]
 
 
 @dataclass

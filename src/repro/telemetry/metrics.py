@@ -1,0 +1,232 @@
+"""Counters, gauges, and histograms with deterministic snapshot/merge.
+
+The registry is designed around two constraints the experiment engine
+imposes:
+
+* **Determinism** — a snapshot is a plain, JSON-serializable dict whose
+  iteration order is sorted by metric name, so two runs that perform
+  the same observations produce byte-identical serializations
+  regardless of metric creation order.
+* **Mergeability** — per-cell snapshots produced in worker processes
+  (or loaded from the on-disk result cache) fold into a run-level
+  registry with :meth:`MetricsRegistry.merge`: counters add, gauges
+  keep the maximum, histograms add bucket counts (their bounds must
+  match).
+"""
+
+import bisect
+
+from repro.errors import ConfigError
+
+#: Default exponential bucket bounds (ns) for stall/BIT-sized values:
+#: 1 us .. 100 ms, one bucket per decade-third.
+STALL_NS_BOUNDS = tuple(
+    int(round(10 ** (3 + third / 3))) for third in range(0, 16)
+)
+
+#: Bounds for prediction error (can be much smaller than a stall).
+ERROR_NS_BOUNDS = tuple(
+    int(round(10 ** (2 + third / 3))) for third in range(0, 16)
+)
+
+#: Bounds for late-wake lateness; dominated by transition latencies.
+LATENESS_NS_BOUNDS = tuple(
+    int(round(10 ** (2 + third / 3))) for third in range(0, 13)
+)
+
+
+class Counter:
+    """A monotonically increasing integer (or float) total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ConfigError(
+                "counter {} cannot decrease (inc {})".format(
+                    self.name, amount
+                )
+            )
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter({!r}, {})".format(self.name, self.value)
+
+
+class Gauge:
+    """A point-in-time value; merge keeps the maximum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Gauge({!r}, {})".format(self.name, self.value)
+
+
+class Histogram:
+    """Fixed-bound histogram: counts per bucket plus sum/count/min/max.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything above the last edge, so ``len(counts) == len(bounds)+1``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, name, bounds):
+        bounds = tuple(bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigError(
+                "histogram {} needs strictly increasing bounds".format(name)
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0
+        self.count = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q):
+        """Approximate quantile: the upper edge of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if seen >= target and bucket:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def __repr__(self):
+        return "Histogram({!r}, n={}, mean={:.3g})".format(
+            self.name, self.count, self.mean()
+        )
+
+
+class MetricsRegistry:
+    """Name-keyed metric store with get-or-create accessors."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- accessors ----------------------------------------------------------
+
+    def counter(self, name):
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name):
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name, bounds=STALL_NS_BOUNDS):
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        elif metric.bounds != tuple(bounds):
+            raise ConfigError(
+                "histogram {} re-declared with different bounds".format(name)
+            )
+        return metric
+
+    def __len__(self):
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def snapshot(self):
+        """A plain, sorted, JSON-serializable view of every metric."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(self._histograms[name].bounds),
+                    "counts": list(self._histograms[name].counts),
+                    "sum": self._histograms[name].sum,
+                    "count": self._histograms[name].count,
+                    "min": self._histograms[name].min,
+                    "max": self._histograms[name].max,
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, other):
+        """Fold another registry or snapshot dict into this one."""
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if value > gauge.value:
+                gauge.set(value)
+        for name, body in snap.get("histograms", {}).items():
+            histogram = self.histogram(name, bounds=tuple(body["bounds"]))
+            if histogram.bounds != tuple(body["bounds"]):
+                raise ConfigError(
+                    "cannot merge histogram {} with different "
+                    "bounds".format(name)
+                )
+            for index, bucket in enumerate(body["counts"]):
+                histogram.counts[index] += bucket
+            histogram.sum += body["sum"]
+            histogram.count += body["count"]
+            for attr, pick in (("min", min), ("max", max)):
+                incoming = body[attr]
+                if incoming is None:
+                    continue
+                current = getattr(histogram, attr)
+                setattr(
+                    histogram, attr,
+                    incoming if current is None else pick(current, incoming),
+                )
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snapshot):
+        return cls().merge(snapshot)
+
+    def __repr__(self):
+        return "MetricsRegistry({} metrics)".format(len(self))

@@ -68,10 +68,11 @@ class WorkloadRunner:
         barrier_factory=conventional_factory,
         predictor=None,
         perturb=None,
+        telemetry=None,
     ):
         self.model = model
         self.n_threads = n_threads or model.default_threads
-        self.system = system or System()
+        self.system = system or System(telemetry=telemetry)
         if self.n_threads > self.system.n_nodes:
             raise WorkloadError(
                 "{} threads > {} nodes".format(

@@ -10,7 +10,6 @@ For arbitrary (small) schedules:
   energy of each category is consistent with its time and power bounds.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

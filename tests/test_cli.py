@@ -22,6 +22,13 @@ class TestParser:
         assert args.apps is None
         assert not args.chart
 
+    def test_cell_command_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.app == "fmm"
+        assert args.config == "thrifty"
+        assert args.trace is None
+        assert args.metrics_csv is None
+
 
 class TestMain:
     def test_table3_prints(self, capsys):
@@ -60,3 +67,66 @@ class TestMain:
             "headline", "--apps", "radiosity", "--threads", "16",
         ]) == 0
         assert "headline" in capsys.readouterr().out
+
+    def test_matrix_prints_engine_and_cache_counters(self, capsys):
+        # The default cache is live (conftest points REPRO_CACHE_DIR at a
+        # per-session temp dir), which routes through the engine and
+        # surfaces its counters in the run summary.
+        assert main([
+            "figure5", "--apps", "radiosity", "--threads", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine & cache counters" in out
+        assert "engine.submitted" in out
+        assert "cache.misses" in out
+
+
+class TestCellCommands:
+    def test_run_prints_summary_and_metrics(self, capsys):
+        assert main([
+            "run", "--app", "fmm", "--config", "thrifty",
+            "--threads", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Cell summary" in out
+        assert "events traced" in out
+        assert "barrier.check_ins" in out
+        assert "wake.total" in out
+
+    def test_trace_prints_digest(self, capsys):
+        assert main(["trace", "--app", "fmm", "--threads", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace digest" in out
+        assert "barrier.check_in" in out
+        assert "Mean BIT (ns)" in out
+
+    def test_metrics_prints_tables(self, capsys):
+        assert main([
+            "metrics", "--app", "fmm", "--config", "thrifty-halt",
+            "--threads", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry metrics" in out
+        assert "sleep.entries" in out
+        assert "Histogram" in out
+
+    def test_trace_export_is_loadable_json(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        csv_path = tmp_path / "metrics.csv"
+        assert main([
+            "run", "--app", "fmm", "--threads", "8",
+            "--trace", str(trace_path), "--metrics-csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"]
+        phases = {row["ph"] for row in document["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+        assert csv_path.read_text().startswith("type,name,field,value")
+
+    def test_unknown_config_fails_cleanly(self, capsys):
+        assert main(["run", "--config", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown configuration" in err
+        assert "thrifty" in err  # lists the valid choices

@@ -1,0 +1,99 @@
+"""Telemetry determinism across the parallel engine and result cache.
+
+The headline contract of the subsystem: identical seeds produce
+byte-identical Chrome-trace exports whether the cells run in-process,
+across fork workers, or come back from the on-disk result cache.
+"""
+
+import pytest
+
+from repro.experiments.parallel import (
+    ExperimentCell,
+    ExperimentEngine,
+    _fork_context,
+    record_engine_metrics,
+)
+from repro.telemetry import MetricsRegistry, TelemetrySnapshot
+from repro.telemetry.export import chrome_trace_json
+
+APPS = ("fmm", "radix")
+THREADS = 8
+
+needs_fork = pytest.mark.skipif(
+    _fork_context() is None, reason="platform cannot fork"
+)
+
+
+def _cells():
+    return [
+        ExperimentCell.make(
+            app, "thrifty", threads=THREADS, seed=1, telemetry=True
+        )
+        for app in APPS
+    ]
+
+
+def _traces(results):
+    return [chrome_trace_json(result.telemetry.events) for result in results]
+
+
+class TestWorkerCountInvariance:
+    @needs_fork
+    def test_workers_1_vs_4_byte_identical_traces(self):
+        serial = ExperimentEngine(workers=1, cache=None).run_cells(_cells())
+        parallel = ExperimentEngine(workers=4, cache=None).run_cells(_cells())
+        assert _traces(serial) == _traces(parallel)
+
+    @needs_fork
+    def test_workers_1_vs_4_identical_metric_snapshots(self):
+        serial = ExperimentEngine(workers=1, cache=None).run_cells(_cells())
+        parallel = ExperimentEngine(workers=4, cache=None).run_cells(_cells())
+        for a, b in zip(serial, parallel):
+            assert a.telemetry.metrics == b.telemetry.metrics
+            assert a.identical(b)
+
+
+class TestCacheRoundTrip:
+    def test_snapshot_survives_the_cache(self, tmp_path):
+        cells = _cells()
+        cold_engine = ExperimentEngine(workers=1, cache=str(tmp_path))
+        cold = cold_engine.run_cells(cells)
+        assert cold_engine.cache.stats()["stores"] == len(cells)
+
+        warm_engine = ExperimentEngine(workers=1, cache=str(tmp_path))
+        warm = warm_engine.run_cells(cells)
+        assert warm_engine.cache.stats()["hits"] == len(cells)
+        assert warm_engine.stats.executed == 0  # zero re-simulations
+
+        for fresh, cached in zip(cold, warm):
+            assert isinstance(cached.telemetry, TelemetrySnapshot)
+            assert cached.telemetry == fresh.telemetry
+        assert _traces(cold) == _traces(warm)
+
+    def test_traced_and_plain_cells_do_not_collide(self, tmp_path):
+        traced = ExperimentCell.make(
+            "fmm", "thrifty", threads=THREADS, seed=1, telemetry=True
+        )
+        plain = ExperimentCell.make(
+            "fmm", "thrifty", threads=THREADS, seed=1
+        )
+        assert traced.key() != plain.key()
+
+        engine = ExperimentEngine(workers=1, cache=str(tmp_path))
+        engine.run_cells([traced])
+        (result,) = engine.run_cells([plain])
+        assert result.telemetry is None  # the traced entry was not reused
+
+    def test_engine_metrics_bridge(self, tmp_path):
+        cells = _cells()
+        engine = ExperimentEngine(workers=1, cache=str(tmp_path))
+        engine.run_cells(cells)
+        engine.run_cells(cells)
+        registry = MetricsRegistry()
+        record_engine_metrics(registry, engine)
+        snapshot = registry.snapshot()["counters"]
+        assert snapshot["engine.submitted"] == 2 * len(cells)
+        assert snapshot["engine.executed"] == len(cells)
+        assert snapshot["engine.cache_hits"] == len(cells)
+        assert snapshot["cache.hits"] == len(cells)
+        assert snapshot["cache.stores"] == len(cells)

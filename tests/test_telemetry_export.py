@@ -1,0 +1,193 @@
+"""Exporter tests: Chrome trace-event JSON and metric CSV dumps."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.telemetry import (
+    BarrierDepart,
+    LateWake,
+    MetricsRegistry,
+    PredictorHit,
+    SleepExit,
+    WakeUp,
+)
+from repro.telemetry.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    metrics_to_csv,
+    metrics_to_rows,
+    write_chrome_trace,
+)
+
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return run_experiment(
+        "fmm", "thrifty", threads=THREADS, seed=1, telemetry=True
+    ).telemetry
+
+
+class TestChromeTraceEvents:
+    def test_metadata_rows_name_process_and_threads(self, snapshot):
+        rows = chrome_trace_events(snapshot.events, process_name="unit test")
+        metadata = [row for row in rows if row["ph"] == "M"]
+        names = {row["name"] for row in metadata}
+        assert names == {"process_name", "thread_name"}
+        process = next(
+            row for row in metadata if row["name"] == "process_name"
+        )
+        assert process["args"]["name"] == "unit test"
+        thread_rows = [
+            row for row in metadata if row["name"] == "thread_name"
+        ]
+        assert len(thread_rows) == THREADS
+
+    def test_span_events_are_well_formed(self, snapshot):
+        rows = chrome_trace_events(snapshot.events)
+        spans = [row for row in rows if row["ph"] == "X"]
+        assert spans
+        for span in spans:
+            assert span["dur"] >= 0
+            assert span["cat"] in ("barrier", "sleep")
+            assert 0 <= span["tid"] < THREADS
+
+    def test_span_counts_match_closing_events(self, snapshot):
+        rows = chrome_trace_events(snapshot.events)
+        spans = [row for row in rows if row["ph"] == "X"]
+        closers = [
+            event for event in snapshot.events
+            if isinstance(event, (BarrierDepart, SleepExit))
+        ]
+        assert len(spans) == len(closers)
+
+    def test_barrier_span_carries_stall(self, snapshot):
+        rows = chrome_trace_events(snapshot.events)
+        departures = [
+            event for event in snapshot.events
+            if isinstance(event, BarrierDepart)
+        ]
+        barrier_spans = [
+            row for row in rows
+            if row["ph"] == "X" and row["cat"] == "barrier"
+        ]
+        span = barrier_spans[0]
+        match = departures[0]
+        assert span["args"]["stall_ns"] == match.stall_ns
+        assert span["ts"] == pytest.approx(match.arrived_ts / 1000.0)
+        assert span["dur"] == pytest.approx(
+            (match.ts - match.arrived_ts) / 1000.0
+        )
+
+    def test_instants_cover_wakes_and_releases(self, snapshot):
+        rows = chrome_trace_events(snapshot.events)
+        instants = [row for row in rows if row["ph"] == "i"]
+        wake_count = sum(
+            1 for event in snapshot.events if isinstance(event, WakeUp)
+        )
+        wake_rows = [
+            row for row in instants if row["name"].startswith("wake:")
+        ]
+        assert len(wake_rows) == wake_count
+        assert all(row["s"] == "t" for row in instants)
+
+    def test_predictor_hits_not_drawn(self, snapshot):
+        assert any(
+            isinstance(event, PredictorHit) for event in snapshot.events
+        )
+        rows = chrome_trace_events(snapshot.events)
+        assert not any("hit" in row.get("name", "") for row in rows)
+
+    def test_zero_penalty_late_wakes_not_drawn(self):
+        events = (
+            LateWake(ts=100, thread=0, pc="b1", penalty_ns=0),
+            LateWake(ts=200, thread=0, pc="b1", penalty_ns=40),
+        )
+        rows = chrome_trace_events(events)
+        late = [row for row in rows if row.get("name") == "late wake"]
+        assert len(late) == 1
+        assert late[0]["args"]["penalty_ns"] == 40
+
+    def test_empty_stream_still_valid(self):
+        rows = chrome_trace_events(())
+        assert [row["ph"] for row in rows] == ["M"]  # just the process name
+
+
+class TestChromeTraceJson:
+    def test_document_shape(self, snapshot):
+        document = json.loads(chrome_trace_json(snapshot.events))
+        assert set(document) == {"displayTimeUnit", "traceEvents"}
+        assert isinstance(document["traceEvents"], list)
+        assert document["traceEvents"]
+
+    def test_byte_identical_across_identical_runs(self, snapshot):
+        again = run_experiment(
+            "fmm", "thrifty", threads=THREADS, seed=1, telemetry=True
+        ).telemetry
+        assert chrome_trace_json(snapshot.events) == chrome_trace_json(
+            again.events
+        )
+
+    def test_canonical_serialization(self, snapshot):
+        text = chrome_trace_json(snapshot.events)
+        assert ": " not in text and ", " not in text  # compact separators
+        document = json.loads(text)
+        re_serialized = json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        )
+        assert text == re_serialized
+
+    def test_write_chrome_trace(self, snapshot, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(
+            snapshot.events, path, process_name="fmm thrifty"
+        )
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count
+        assert path.read_text() == chrome_trace_json(
+            snapshot.events, process_name="fmm thrifty"
+        )
+
+
+class TestMetricsCsv:
+    @staticmethod
+    def _registry():
+        registry = MetricsRegistry()
+        registry.counter("c.total").inc(3)
+        registry.gauge("g.level").set(9)
+        histogram = registry.histogram("h.lat", bounds=(10, 100))
+        histogram.observe(5)
+        histogram.observe(500)
+        return registry
+
+    def test_rows_flatten_all_metric_types(self):
+        rows = metrics_to_rows(self._registry().snapshot())
+        assert ("counter", "c.total", "value", 3) in rows
+        assert ("gauge", "g.level", "value", 9) in rows
+        assert ("histogram", "h.lat", "count", 2) in rows
+        assert ("histogram", "h.lat", "le_10", 1) in rows
+        assert ("histogram", "h.lat", "le_100", 0) in rows
+        assert ("histogram", "h.lat", "le_inf", 1) in rows
+
+    def test_csv_round_trips_through_reader(self, tmp_path):
+        path = tmp_path / "metrics.csv"
+        text = metrics_to_csv(self._registry().snapshot(), path)
+        assert path.read_text() == text
+        parsed = list(csv.reader(io.StringIO(text)))
+        assert parsed[0] == ["type", "name", "field", "value"]
+        assert ["counter", "c.total", "value", "3"] in parsed
+
+    def test_csv_is_deterministic(self, snapshot):
+        assert metrics_to_csv(snapshot.metrics) == metrics_to_csv(
+            snapshot.metrics
+        )
+
+    def test_real_run_exports(self, snapshot, tmp_path):
+        text = metrics_to_csv(snapshot.metrics)
+        assert "barrier.check_ins" in text
+        assert "barrier.stall_ns" in text  # histogram present

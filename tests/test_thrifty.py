@@ -1,7 +1,5 @@
 """Tests for the thrifty barrier (the paper's core mechanism)."""
 
-import pytest
-
 from repro.config import (
     DEFAULT_SLEEP_STATES,
     SLEEP1_HALT,

@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.config import SLEEP3, ThriftyConfig
+from repro.config import ThriftyConfig
 from repro.sync import ThriftyBarrier
 
 from tests.conftest import make_domain, make_system, staggered_schedules, run_phases
