@@ -19,7 +19,7 @@ subpackage (for instance :mod:`repro.sim` in a unit test) does not pull in
 the whole stack.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _LAZY = {
     "MachineConfig": ("repro.config", "MachineConfig"),
@@ -31,6 +31,12 @@ _LAZY = {
     "MetricsRegistry": ("repro.telemetry.metrics", "MetricsRegistry"),
     "Tracer": ("repro.telemetry.tracer", "Tracer"),
     "TelemetrySnapshot": ("repro.telemetry.tracer", "TelemetrySnapshot"),
+    "FaultPlan": ("repro.faults.plan", "FaultPlan"),
+    "FaultInjector": ("repro.faults.injector", "FaultInjector"),
+    "install_fault_plan": ("repro.faults.injector", "install_fault_plan"),
+    "InvariantChecker": ("repro.faults.invariants", "InvariantChecker"),
+    "run_chaos_campaign": ("repro.faults.chaos", "run_chaos_campaign"),
+    "sample_plans": ("repro.faults.chaos", "sample_plans"),
 }
 
 __all__ = sorted(_LAZY) + ["__version__"]

@@ -37,6 +37,9 @@ _ARTIFACTS = (
 #: Telemetry commands operating on a single (app, config) cell.
 _CELL_COMMANDS = ("run", "trace", "metrics")
 
+#: Robustness commands.
+_CHAOS_COMMANDS = ("chaos",)
+
 
 def build_parser():
     parser = argparse.ArgumentParser(
@@ -47,9 +50,10 @@ def build_parser():
         ),
     )
     parser.add_argument(
-        "artifact", choices=_ARTIFACTS + _CELL_COMMANDS,
-        help="which artifact to regenerate, or a telemetry command "
-             "(run / trace / metrics) on one experiment cell",
+        "artifact", choices=_ARTIFACTS + _CELL_COMMANDS + _CHAOS_COMMANDS,
+        help="which artifact to regenerate, a telemetry command "
+             "(run / trace / metrics) on one experiment cell, or "
+             "'chaos' to run a seeded fault-injection campaign",
     )
     parser.add_argument(
         "--app", default="fmm", metavar="APP",
@@ -108,6 +112,20 @@ def build_parser():
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--plans", type=int, default=5, metavar="N",
+        help="number of sampled fault plans for the chaos campaign "
+             "(default 5)",
+    )
+    parser.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="fault-probability scale for sampled chaos plans "
+             "(default 1.0)",
+    )
+    parser.add_argument(
+        "--configs", nargs="*", default=None, metavar="CFG",
+        help="configurations for the chaos campaign (default: all five)",
     )
     return parser
 
@@ -185,10 +203,32 @@ def _run_cell_command(args):
     return 0
 
 
+def _run_chaos_command(args):
+    """The ``chaos`` command: a seeded fault campaign with auditing."""
+    from repro.faults.chaos import (
+        render_chaos_report,
+        run_chaos_campaign,
+        sample_plans,
+    )
+
+    from repro.experiments.configs import CONFIG_NAMES
+
+    apps = tuple(args.apps or ("fmm",))
+    plans = sample_plans(args.plans, seed=args.seed, intensity=args.intensity)
+    report = run_chaos_campaign(
+        plans, apps=apps, configs=tuple(args.configs or CONFIG_NAMES),
+        threads=args.threads, seed=args.seed,
+    )
+    _emit(render_chaos_report(report))
+    return 0 if report.ok else 1
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.artifact in _CELL_COMMANDS:
         return _run_cell_command(args)
+    if args.artifact in _CHAOS_COMMANDS:
+        return _run_chaos_command(args)
     from repro.telemetry.metrics import MetricsRegistry
 
     needs_matrix = args.artifact in ("figure5", "figure6", "headline", "all")

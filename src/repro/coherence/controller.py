@@ -48,6 +48,21 @@ class CacheController:
         callbacks = self._monitors.pop(line_addr, None)
         if not callbacks:
             return
+        injector = self.sim.fault_injector
+        if injector is not None:
+            delay = injector.on_monitor_fire(self.node_id, line_addr)
+            if delay:
+                # Delayed or dropped-then-redelivered wake-up: the
+                # monitors were already consumed, so the signal is late
+                # but never lost (liveness is delayed, not broken).
+                self.sim.schedule(
+                    delay, self._deliver_wakeups, line_addr, callbacks
+                )
+                return
+        self._deliver_wakeups(line_addr, callbacks)
+
+    def _deliver_wakeups(self, line_addr, callbacks):
+        """Fire a consumed monitor list (possibly after fault delay)."""
         self.stats_monitor_fires += len(callbacks)
         for callback in callbacks:
             callback(line_addr)
@@ -82,6 +97,16 @@ class CacheController:
         """Arm the countdown timer; returns a cancellable handle."""
         if delay_ns < 0:
             raise ProtocolError("wake timer delay must be non-negative")
+        injector = self.sim.fault_injector
+        if injector is not None:
+            delay_ns, lost = injector.on_wake_timer(self.node_id, delay_ns)
+            if lost:
+                # A lost timer never fires; hand back a pre-cancelled
+                # handle so the caller's disarm path stays uniform. The
+                # external wake-up (or residual spin) covers liveness.
+                handle = self.sim.schedule(delay_ns, callback)
+                handle.cancel()
+                return handle
         return self.sim.schedule(delay_ns, callback)
 
     @property

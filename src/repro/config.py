@@ -222,6 +222,16 @@ class ThriftyConfig:
     #: sleeping (conditional sleep). Unconditional sleep is the strawman
     #: of Section 3.1.
     conditional_sleep: bool = True
+    #: Graceful degradation: re-enable a cut-off (thread, barrier)
+    #: predictor after this many consecutive safe episodes. 0 keeps the
+    #: paper's policy — once disabled, disabled forever.
+    probation_episodes: int = 0
+    #: Graceful degradation: a disabled (thread, barrier) falls back to
+    #: the conventional spin-then-sleep policy (bounded spin, then Halt
+    #: on the external wake-up) instead of pure spinning.
+    fallback_spin_then_sleep: bool = False
+    #: Spin budget of the fallback policy before it executes Halt.
+    fallback_spin_threshold_ns: int = 50_000
 
     def __post_init__(self):
         if not self.sleep_states:
@@ -230,6 +240,12 @@ class ThriftyConfig:
             raise ConfigError("at least one wake-up mechanism is required")
         if self.overprediction_threshold <= 0:
             raise ConfigError("overprediction_threshold must be positive")
+        if self.probation_episodes < 0:
+            raise ConfigError("probation_episodes must be non-negative")
+        if self.fallback_spin_threshold_ns < 0:
+            raise ConfigError(
+                "fallback_spin_threshold_ns must be non-negative"
+            )
         latencies = [s.transition_latency_ns for s in self.sleep_states]
         if latencies != sorted(latencies):
             raise ConfigError(

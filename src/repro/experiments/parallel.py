@@ -25,6 +25,7 @@ count the engine returns field-identical results in identical order
 
 import multiprocessing
 import os
+import random
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -135,6 +136,38 @@ class EngineStats:
         }
 
 
+class RetryBackoff:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    ``delay_for(attempt)`` (attempt numbering starts at 1 for the first
+    *retry*) returns ``min(cap, base * 2**(attempt-1))`` scaled by a
+    jitter factor drawn uniformly from [0.5, 1.0) — decorrelating the
+    retry times of cells that failed together (e.g. all chunks of one
+    dead worker) without sacrificing reproducibility: the jitter RNG is
+    seeded from ``seed`` alone, so a fixed seed yields the same retry
+    schedule on every run.
+    """
+
+    def __init__(self, base_s=0.05, cap_s=2.0, seed=0):
+        if base_s < 0 or cap_s < 0:
+            raise ConfigError("backoff delays must be non-negative")
+        if cap_s < base_s:
+            raise ConfigError("backoff cap must be >= base")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.seed = seed
+        # String seeding hashes via SHA-512 — stable across processes
+        # and runs, unlike hash() of arbitrary objects.
+        self._rng = random.Random("retry-backoff:{}".format(seed))
+
+    def delay_for(self, attempt):
+        """Delay in seconds before retry number ``attempt`` (>= 1)."""
+        if attempt < 1:
+            raise ConfigError("attempt numbering starts at 1")
+        raw = min(self.cap_s, self.base_s * (2 ** (attempt - 1)))
+        return raw * (0.5 + 0.5 * self._rng.random())
+
+
 def _run_cell(cell):
     """Default task: one ``run_experiment`` call (the bit-exact unit)."""
     from repro.experiments.runner import run_experiment
@@ -226,10 +259,17 @@ class ExperimentEngine:
     chunksize:
         Cells dispatched to a worker at a time. ``None`` auto-sizes to
         about four chunks per worker.
+    backoff_base_s / backoff_cap_s / backoff_seed:
+        Retried cells wait ``min(cap, base * 2**(retry-1))`` seconds
+        (with deterministic seeded jitter, see :class:`RetryBackoff`)
+        before redispatch, so a transiently-overloaded host is not
+        hammered with immediate retries. ``backoff_base_s=0`` restores
+        the old immediate-requeue behaviour.
     """
 
     def __init__(self, workers=1, cache=None, timeout=None, retries=1,
-                 strict=False, chunksize=None):
+                 strict=False, chunksize=None, backoff_base_s=0.05,
+                 backoff_cap_s=2.0, backoff_seed=0):
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -246,7 +286,14 @@ class ExperimentEngine:
         self.retries = retries
         self.strict = strict
         self.chunksize = chunksize
+        RetryBackoff(backoff_base_s, backoff_cap_s, backoff_seed)  # validate
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.backoff_seed = backoff_seed
         self.stats = EngineStats()
+        #: Backoff delays applied to retries, in the order they were
+        #: scheduled (accumulates across runs, like ``stats``).
+        self.retry_delays = []
 
     # ------------------------------------------------------------------
     # public API
@@ -351,13 +398,20 @@ class ExperimentEngine:
     # parallel path
 
     def _chunks(self, cells, pending):
+        """Initial work queue: ``(eligible_at, chunk)`` pairs.
+
+        ``eligible_at`` is a ``time.monotonic()`` instant before which
+        the chunk must not be dispatched; fresh work is eligible
+        immediately (0.0) and only backoff-delayed retries carry a
+        future instant.
+        """
         size = self.chunksize
         if size is None:
             size = max(1, -(-len(pending) // (self.workers * 4)))
         work = deque()
         for start in range(0, len(pending), size):
             work.append(
-                [(i, cells[i]) for i in pending[start:start + size]]
+                (0.0, [(i, cells[i]) for i in pending[start:start + size]])
             )
         return work
 
@@ -367,6 +421,11 @@ class ExperimentEngine:
         attempts = {index: 1 for index in pending}
         active = []
         timeout = self.timeout if self.timeout is not None else float("inf")
+        # Fresh backoff per parallel run so the retry schedule depends
+        # only on the seed and the retry sequence, not engine history.
+        backoff = RetryBackoff(
+            self.backoff_base_s, self.backoff_cap_s, self.backoff_seed
+        )
 
         def record(index, status, payload):
             if results[index] is not _PENDING:
@@ -412,9 +471,11 @@ class ExperimentEngine:
 
         def retire(index, cell, kind, message=""):
             if attempts[index] <= self.retries:
+                delay = backoff.delay_for(attempts[index])
                 attempts[index] += 1
                 self.stats.retries += 1
-                work.append([(index, cell)])
+                self.retry_delays.append(delay)
+                work.append((time.monotonic() + delay, [(index, cell)]))
             else:
                 results[index] = CellFailure(
                     cell=cell, kind=kind, message=message,
@@ -423,8 +484,17 @@ class ExperimentEngine:
                 self.stats.failures += 1
 
         def launch():
-            while work and len(active) < self.workers:
-                chunk = work.popleft()
+            # One bounded pass: each queued chunk is examined at most
+            # once, and chunks still inside their backoff window keep
+            # their relative order at the back of the queue.
+            now = time.monotonic()
+            for _ in range(len(work)):
+                if len(active) >= self.workers:
+                    return
+                eligible_at, chunk = work.popleft()
+                if eligible_at > now:
+                    work.append((eligible_at, chunk))
+                    continue
                 out_queue = context.SimpleQueue()
                 process = context.Process(
                     target=_chunk_worker,
@@ -495,7 +565,7 @@ class ExperimentEngine:
                             if results[i] is _PENDING
                         ]
                         if innocent:
-                            work.append(innocent)
+                            work.append((0.0, innocent))
                         active.remove(state)
                         progressed = True
                 launch()

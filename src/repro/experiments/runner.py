@@ -92,6 +92,15 @@ def _summarize_thrifty(barriers):
             "cutoff_disables", "filtered_updates",
         ):
             totals[key] = totals.get(key, 0) + getattr(stats, key)
+        # Degradation/fault counters appear only when they fired, so a
+        # clean run's stats dict stays bit-identical to the pre-fault
+        # era (the same data-dependent idiom as ``sleeps[state]``).
+        for key in (
+            "spurious_wakes", "fallback_sleeps", "probation_reenables",
+        ):
+            value = getattr(stats, key)
+            if value:
+                totals[key] = totals.get(key, 0) + value
         for state, count in stats.sleeps_by_state.items():
             key = "sleeps[{}]".format(state)
             totals[key] = totals.get(key, 0) + count
@@ -138,16 +147,23 @@ def _derived_result(app, config_name, baseline_run):
 
 def _run_live(
     app, config_name, threads, seed, machine_config, overrides,
-    telemetry=None,
+    telemetry=None, fault_plan=None,
 ):
     model = get_model(app)
     system = System(machine_config or MachineConfig(), telemetry=telemetry)
+    perturb = None
+    if fault_plan is not None and not fault_plan.is_noop:
+        from repro.faults.injector import install_fault_plan
+
+        injector = install_fault_plan(system, fault_plan, telemetry=telemetry)
+        perturb = injector.perturb_hook()
     runner = WorkloadRunner(
         model,
         system=system,
         n_threads=threads,
         seed=seed,
         barrier_factory=barrier_factory_for(config_name, **overrides),
+        perturb=perturb,
     )
     run = runner.run()
     if telemetry is not None and telemetry.enabled:
@@ -171,7 +187,8 @@ def _coerce_tracer(telemetry):
 
 def run_experiment(
     app, config, threads=64, seed=DEFAULT_SEED,
-    machine_config=None, telemetry=False, **thrifty_overrides,
+    machine_config=None, telemetry=False, fault_plan=None,
+    **thrifty_overrides,
 ):
     """Run one cell; derived configurations run their Baseline first.
 
@@ -180,19 +197,23 @@ def run_experiment(
     and the result carries a
     :class:`~repro.telemetry.tracer.TelemetrySnapshot`; for derived
     (oracle) configurations this is the snapshot of the Baseline
-    simulation they replay. Returns an :class:`ExperimentResult`.
+    simulation they replay. ``fault_plan`` optionally installs a
+    :class:`~repro.faults.plan.FaultPlan` into the live simulation
+    (derived configurations replay their perturbed Baseline); ``None``
+    or a no-op plan leaves the machine untouched. Returns an
+    :class:`ExperimentResult`.
     """
     tracer = _coerce_tracer(telemetry)
     if config in LIVE_CONFIGS:
         run = _run_live(
             app, config, threads, seed, machine_config, thrifty_overrides,
-            telemetry=tracer,
+            telemetry=tracer, fault_plan=fault_plan,
         )
         result = _live_result(app, config, run)
     elif config in DERIVED_CONFIGS:
         baseline_run = _run_live(
             app, "baseline", threads, seed, machine_config, {},
-            telemetry=tracer,
+            telemetry=tracer, fault_plan=fault_plan,
         )
         result = _derived_result(app, config, baseline_run)
     else:

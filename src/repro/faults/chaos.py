@@ -1,0 +1,284 @@
+"""Seeded chaos campaigns across the paper's five configurations.
+
+A campaign is a matrix of (application, configuration, fault plan)
+cells. Each cell runs one live simulation with the plan installed (the
+derived oracle configurations replay their perturbed Baseline), audits
+the full telemetry stream with the
+:class:`~repro.faults.invariants.InvariantChecker`, and reports what
+chaos cost: injected-fault counts, late wake-ups, and the energy and
+execution-time deltas against the same cell run clean. The thrifty
+configurations run with graceful degradation enabled
+(:data:`DEGRADED_THRIFTY`) so disabled predictors fall back to
+spin-then-sleep and re-enable after probation.
+
+Everything is seeded: the same ``(plans, apps, configs, threads,
+seed)`` produce byte-identical reports, which is what lets the chaos
+CI smoke job diff against a clean baseline.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.experiments.configs import (
+    CONFIG_NAMES,
+    DERIVED_CONFIGS,
+    LIVE_CONFIGS,
+)
+from repro.experiments.runner import (
+    DEFAULT_SEED,
+    _derived_result,
+    _live_result,
+    _run_live,
+)
+from repro.faults.injector import FAULT_KINDS
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
+from repro.telemetry.tracer import Tracer
+
+#: Liveness deadline for campaign cells: a departure more than 10 ms of
+#: simulated time after its release is a violation. Generous against
+#: the worst recoverable injection (a dropped invalidation redelivered
+#: at ≤200 µs plus a Sleep3 wake) yet far below any real hang.
+DEFAULT_DEADLINE_NS = 10_000_000
+
+#: Thrifty-policy overrides active during chaos: a cut-off (thread, PC)
+#: falls back to spin-then-sleep and is re-enabled after eight
+#: consecutive safe episodes. Clean (delta-reference) runs use the same
+#: overrides so deltas isolate the injected faults.
+DEGRADED_THRIFTY = {
+    "probation_episodes": 8,
+    "fallback_spin_then_sleep": True,
+}
+
+#: Apps exercised when the caller does not choose (small but distinct
+#: imbalance profiles).
+DEFAULT_APPS = ("fmm",)
+
+
+def sample_plans(count, seed=0, intensity=1.0):
+    """``count`` deterministic plans fanned out from one campaign seed."""
+    if count < 1:
+        raise ConfigError("a campaign needs at least one plan")
+    return [
+        FaultPlan.sample(seed + 7919 * index, intensity=intensity)
+        for index in range(count)
+    ]
+
+
+def _overrides_for(config):
+    return dict(DEGRADED_THRIFTY) if config in (
+        "thrifty", "thrifty-halt"
+    ) else {}
+
+
+@dataclass
+class ChaosCellReport:
+    """One (app, config, plan) chaos run, audited."""
+
+    app: str
+    config: str
+    plan: FaultPlan
+    threads: int
+    violations: tuple
+    injected: dict
+    late_wakes: int
+    releases: int
+    execution_time_ns: int
+    energy_joules: float
+    #: Deltas vs. the clean run of the same cell (None without one).
+    energy_delta: object = None
+    time_delta_ns: object = None
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    @property
+    def total_injected(self):
+        return sum(self.injected.values())
+
+
+@dataclass
+class ChaosCampaignReport:
+    """A full campaign: every cell plus roll-up properties."""
+
+    cells: list = field(default_factory=list)
+    deadline_ns: int = DEFAULT_DEADLINE_NS
+
+    @property
+    def violations(self):
+        return tuple(
+            violation for cell in self.cells for violation in cell.violations
+        )
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    @property
+    def total_injected(self):
+        return sum(cell.total_injected for cell in self.cells)
+
+    @property
+    def total_late_wakes(self):
+        return sum(cell.late_wakes for cell in self.cells)
+
+
+def run_chaos_cell(
+    app, config, plan, threads=16, seed=DEFAULT_SEED,
+    machine_config=None, deadline_ns=DEFAULT_DEADLINE_NS, clean=None,
+):
+    """Run and audit one chaos cell; returns a :class:`ChaosCellReport`.
+
+    ``clean`` is an optional :class:`~repro.experiments.runner.
+    ExperimentResult` of the same cell without a plan, used for the
+    energy/time deltas.
+    """
+    if config not in CONFIG_NAMES:
+        raise ConfigError(
+            "unknown configuration {!r}; choose from {}".format(
+                config, ", ".join(CONFIG_NAMES)
+            )
+        )
+    tracer = Tracer()
+    overrides = _overrides_for(config)
+    if config in LIVE_CONFIGS:
+        run = _run_live(
+            app, config, threads, seed, machine_config, overrides,
+            telemetry=tracer, fault_plan=plan,
+        )
+        result = _live_result(app, config, run)
+    else:
+        run = _run_live(
+            app, "baseline", threads, seed, machine_config, {},
+            telemetry=tracer, fault_plan=plan,
+        )
+        result = _derived_result(app, config, run)
+    checker = InvariantChecker(deadline_ns=deadline_ns)
+    violations = checker.audit(
+        tracer.events, accounts=run.accounts, tracer=tracer,
+    )
+    counters = tracer.metrics.snapshot().get("counters", {})
+    injected = {
+        kind: counters["fault.kind[{}]".format(kind)]
+        for kind in FAULT_KINDS
+        if "fault.kind[{}]".format(kind) in counters
+    }
+    report = ChaosCellReport(
+        app=app,
+        config=config,
+        plan=plan,
+        threads=threads,
+        violations=tuple(violations),
+        injected=injected,
+        late_wakes=counters.get("wake.late", 0),
+        releases=counters.get("barrier.releases", 0),
+        execution_time_ns=result.execution_time_ns,
+        energy_joules=result.energy_joules,
+    )
+    if clean is not None:
+        report.energy_delta = result.energy_joules - clean.energy_joules
+        report.time_delta_ns = (
+            result.execution_time_ns - clean.execution_time_ns
+        )
+    return report
+
+
+def _clean_result(app, config, threads, seed, machine_config):
+    """The unperturbed reference cell (same degradation overrides)."""
+    if config in LIVE_CONFIGS:
+        run = _run_live(
+            app, config, threads, seed, machine_config,
+            _overrides_for(config),
+        )
+        return _live_result(app, config, run)
+    run = _run_live(app, "baseline", threads, seed, machine_config, {})
+    return _derived_result(app, config, run)
+
+
+def run_chaos_campaign(
+    plans, apps=DEFAULT_APPS, configs=CONFIG_NAMES, threads=16,
+    seed=DEFAULT_SEED, machine_config=None,
+    deadline_ns=DEFAULT_DEADLINE_NS,
+):
+    """Sweep plans × apps × configs; returns a
+    :class:`ChaosCampaignReport`. Clean reference runs are shared per
+    (app, config)."""
+    configs = tuple(configs)
+    unknown = [c for c in configs if c not in CONFIG_NAMES]
+    if unknown:
+        raise ConfigError(
+            "unknown configuration(s) {}; choose from {}".format(
+                ", ".join(map(repr, unknown)), ", ".join(CONFIG_NAMES)
+            )
+        )
+    report = ChaosCampaignReport(deadline_ns=deadline_ns)
+    clean_cache = {}
+    for app in apps:
+        for config in configs:
+            key = (app, config)
+            if key not in clean_cache:
+                clean_cache[key] = _clean_result(
+                    app, config, threads, seed, machine_config
+                )
+            for plan in plans:
+                report.cells.append(run_chaos_cell(
+                    app, config, plan, threads=threads, seed=seed,
+                    machine_config=machine_config,
+                    deadline_ns=deadline_ns, clean=clean_cache[key],
+                ))
+    return report
+
+
+def render_chaos_report(report):
+    """Human-readable campaign summary (the ``repro chaos`` output)."""
+    from repro.experiments.report import render_table
+
+    rows = []
+    for cell in report.cells:
+        energy_delta = (
+            "{:+.2%}".format(
+                cell.energy_delta
+                / (cell.energy_joules - cell.energy_delta)
+            )
+            if cell.energy_delta is not None
+            and cell.energy_joules != cell.energy_delta
+            else "-"
+        )
+        time_delta = (
+            "{:+,} ns".format(cell.time_delta_ns)
+            if cell.time_delta_ns is not None else "-"
+        )
+        rows.append((
+            cell.app,
+            cell.config,
+            cell.plan.name,
+            cell.total_injected,
+            cell.releases,
+            cell.late_wakes,
+            len(cell.violations),
+            energy_delta,
+            time_delta,
+        ))
+    lines = [render_table(
+        (
+            "App", "Config", "Plan", "Faults", "Releases", "Late",
+            "Violations", "dE", "dT",
+        ),
+        rows,
+        title="Chaos campaign ({} cells, deadline {:,} ns)".format(
+            len(report.cells), report.deadline_ns
+        ),
+    )]
+    for violation in report.violations:
+        lines.append("VIOLATION " + violation.describe())
+    lines.append(
+        "{}: {} fault(s) injected, {} late wake-up(s), "
+        "{} invariant violation(s)".format(
+            "OK" if report.ok else "FAILED",
+            report.total_injected,
+            report.total_late_wakes,
+            len(report.violations),
+        )
+    )
+    return "\n".join(lines)

@@ -179,14 +179,21 @@ class Cpu:
             self.add_refill_debt(flushed)
             controller.set_snooping(False)
         sleep_watts = self.power.sleep_watts(state)
+        injector = self.sim.fault_injector
+        enter_ns = state.transition_latency_ns
+        if injector is not None:
+            # Fault seams: a spurious wake-up may be scheduled against
+            # this sleep, and the voltage ramps may jitter longer than
+            # the nominal Table 3 latency.
+            injector.on_sleep_entry(self.node_id, wake_event)
+            enter_ns += injector.on_transition(self.node_id, state.name)
         # Transition in: linear ramp from compute power to sleep power.
-        yield self.sim.timeout(state.transition_latency_ns)
+        yield self.sim.timeout(enter_ns)
         self.account.add(
             Category.TRANSITION,
-            state.transition_latency_ns,
+            enter_ns,
             energy_joules=ramp_energy(
-                self.power.compute_watts, sleep_watts,
-                state.transition_latency_ns,
+                self.power.compute_watts, sleep_watts, enter_ns,
             ),
         )
         # Residency: wait for the wake signal (may already have fired).
@@ -196,14 +203,16 @@ class Cpu:
         self.account.add(
             Category.SLEEP, resident_ns, power_watts=sleep_watts
         )
+        exit_ns = state.transition_latency_ns
+        if injector is not None:
+            exit_ns += injector.on_transition(self.node_id, state.name)
         # Transition out: ramp back up.
-        yield self.sim.timeout(state.transition_latency_ns)
+        yield self.sim.timeout(exit_ns)
         self.account.add(
             Category.TRANSITION,
-            state.transition_latency_ns,
+            exit_ns,
             energy_joules=ramp_energy(
-                sleep_watts, self.power.compute_watts,
-                state.transition_latency_ns,
+                sleep_watts, self.power.compute_watts, exit_ns,
             ),
         )
         if not state.snoops and controller is not None:

@@ -20,13 +20,17 @@ class PredictorStats:
         self.updates = 0
         self.filtered_updates = 0
         self.disables = 0
+        self.reenables = 0
 
 
 class Predictor(abc.ABC):
     """PC-indexed barrier-interval-time predictor."""
 
     def __init__(self):
-        self._disabled = {}  # pc -> set of thread ids
+        # pc -> {thread_id: consecutive safe episodes since disable}.
+        # Membership alone is the disable bit; the count drives the
+        # probation/re-enable path of the graceful-degradation policy.
+        self._disabled = {}
         self.stats = PredictorStats()
 
     @abc.abstractmethod
@@ -64,10 +68,32 @@ class Predictor(abc.ABC):
 
     def disable(self, pc, thread_id):
         """Set the per-thread disable bit (overprediction cut-off)."""
-        threads = self._disabled.setdefault(pc, set())
+        threads = self._disabled.setdefault(pc, {})
         if thread_id not in threads:
-            threads.add(thread_id)
+            threads[thread_id] = 0
             self.stats.disables += 1
+
+    def note_safe_episode(self, pc, thread_id, probation_episodes):
+        """Credit a disabled (thread, PC) with one safe barrier episode.
+
+        After ``probation_episodes`` consecutive safe episodes the
+        disable bit is cleared and prediction resumes. Returns True on
+        the episode that re-enables. ``probation_episodes <= 0`` keeps
+        the pre-probation policy: disabled stays disabled forever.
+        """
+        if probation_episodes <= 0:
+            return False
+        threads = self._disabled.get(pc)
+        if threads is None or thread_id not in threads:
+            return False
+        threads[thread_id] += 1
+        if threads[thread_id] < probation_episodes:
+            return False
+        del threads[thread_id]
+        if not threads:
+            del self._disabled[pc]
+        self.stats.reenables += 1
+        return True
 
     def is_disabled(self, pc, thread_id):
         """True when this thread must not sleep at this barrier again."""

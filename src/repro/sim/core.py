@@ -104,6 +104,11 @@ class Simulator:
         self._running = False
         self.executed = 0
         self.skipped_cancelled = 0
+        #: Optional :class:`~repro.faults.injector.FaultInjector`. The
+        #: instrumented seams (wake timers, monitor deliveries, sleep
+        #: transitions) consult it with one ``is None`` check; when no
+        #: plan is installed they behave exactly as before.
+        self.fault_injector = None
 
     @property
     def now(self):

@@ -41,6 +41,7 @@ from repro.telemetry.events import (
     PredictorDisable,
     PredictorFiltered,
     PredictorHit,
+    PredictorReenable,
     PredictorTrain,
     WakeUp,
 )
@@ -71,6 +72,9 @@ class ThriftyStats:
     invalidation_wakes: int = 0
     cutoff_disables: int = 0
     filtered_updates: int = 0
+    spurious_wakes: int = 0      # woken by neither source (fault injection)
+    fallback_sleeps: int = 0     # disabled thread used spin-then-sleep
+    probation_reenables: int = 0  # disable lifted after safe episodes
 
 
 class ThriftyBarrier(BarrierBase):
@@ -158,8 +162,18 @@ class ThriftyBarrier(BarrierBase):
             self.stats.invalidation_wakes += 1
             if timer_handle is not None:
                 timer_handle.cancel()
-        else:
+        elif timer is not None and wake.value is timer:
             self.stats.timer_wakes += 1
+            if monitor_key is not None:
+                controller.disarm_flag_monitor(monitor_key, on_invalidation)
+        else:
+            # Woken by neither source: a spurious wake-up (fault
+            # injection). Both sources are still armed — cancel both;
+            # the residual spin re-checks the flag (Section 3.3.1).
+            woke_by = "spurious"
+            self.stats.spurious_wakes += 1
+            if timer_handle is not None:
+                timer_handle.cancel()
             if monitor_key is not None:
                 controller.disarm_flag_monitor(monitor_key, on_invalidation)
         self.stats.sleeps += 1
@@ -179,6 +193,68 @@ class ThriftyBarrier(BarrierBase):
             woke_by=woke_by,
         )
         return self.sim.now
+
+    # -- degraded mode: spin-then-sleep for a disabled (thread, PC) ----------
+
+    def _fallback_state(self):
+        """Shallowest snooping state (no prediction exists to amortize
+        a flush), or None when the menu has no snooping state."""
+        for state in self.config.sleep_states:
+            if state.snoops:
+                return state
+        return None
+
+    def _fallback_sleep(self, node, sense, record):
+        """Wait out one episode without a prediction: spin for the
+        configured threshold, then Halt relying purely on the external
+        (invalidation) wake-up — the conventional spin-then-sleep
+        policy of Section 5.1, instead of baseline spinning."""
+        cpu = node.cpu
+        controller = node.controller
+        value = yield from cpu.mem_op_as(
+            Category.SPIN,
+            self.memsys.load(node.node_id, self.flag_addr),
+        )
+        if value == sense:
+            return
+        fired = self.sim.event()
+
+        def on_invalidation(_line):
+            if not fired.triggered:
+                fired.succeed()
+
+        key = controller.arm_flag_monitor(self.flag_addr, on_invalidation)
+        if self._monitor_raced(node, sense):
+            controller.disarm_flag_monitor(key, on_invalidation)
+            return
+        deadline = self.sim.timeout(self.config.fallback_spin_threshold_ns)
+        race = AnyOf(self.sim, [fired, deadline])
+        yield from cpu.spin_until(race)
+        if race.value is fired:
+            return  # released (or spuriously woken) during the spin
+        state = self._fallback_state()
+        if state is None:
+            # Nothing snooping to halt in; finish the wait spinning.
+            yield from cpu.spin_until(fired)
+            return
+        outcome = yield from cpu.sleep(state, fired)
+        woke_by = "invalidation"
+        if fired.value == "fault:spurious":
+            woke_by = "spurious"
+            self.stats.spurious_wakes += 1
+            controller.disarm_flag_monitor(key, on_invalidation)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.emit(WakeUp(
+                ts=self.sim.now, thread=node.node_id, pc=self.pc,
+                source=woke_by, state=state.name,
+            ))
+        record.sleeps[node.node_id] = SleepRecord(
+            state_name=state.name,
+            resident_ns=outcome.resident_ns,
+            flushed_lines=outcome.flushed_lines,
+            woke_by=woke_by,
+        )
 
     # -- the barrier itself --------------------------------------------------
 
@@ -205,11 +281,20 @@ class ThriftyBarrier(BarrierBase):
                 est_stall_ns=est_stall,
             ))
         wake_ts = None
+        was_disabled = False
         if est_stall is None:
             if self.domain.predictor is not None and (
                 self.domain.predictor.is_disabled(self.pc, thread_id)
             ):
-                self.stats.disabled_spins += 1
+                was_disabled = True
+                if self.config.fallback_spin_then_sleep:
+                    # Graceful degradation: a cut-off (thread, PC) waits
+                    # with the conventional spin-then-sleep policy
+                    # instead of burning spin power until re-enabled.
+                    self.stats.fallback_sleeps += 1
+                    yield from self._fallback_sleep(node, sense, record)
+                else:
+                    self.stats.disabled_spins += 1
             else:
                 self.stats.cold_spins += 1
         else:
@@ -253,6 +338,14 @@ class ThriftyBarrier(BarrierBase):
                     telemetry.emit(PredictorDisable(
                         ts=self.sim.now, thread=thread_id, pc=self.pc,
                     ))
+        if was_disabled and self.domain.predictor.note_safe_episode(
+            self.pc, thread_id, self.config.probation_episodes
+        ):
+            self.stats.probation_reenables += 1
+            if telemetry.enabled:
+                telemetry.emit(PredictorReenable(
+                    ts=self.sim.now, thread=thread_id, pc=self.pc,
+                ))
         self._depart(node, record)
         return record
 

@@ -30,10 +30,13 @@ from repro.telemetry.events import (
     BarrierCheckIn,
     BarrierDepart,
     BarrierRelease,
+    FaultInjected,
+    InvariantCheck,
     LateWake,
     PredictorDisable,
     PredictorFiltered,
     PredictorHit,
+    PredictorReenable,
     PredictorTrain,
     SleepEnter,
     SleepExit,
@@ -54,8 +57,10 @@ __all__ = [
     "BarrierDepart",
     "BarrierRelease",
     "Counter",
+    "FaultInjected",
     "Gauge",
     "Histogram",
+    "InvariantCheck",
     "LateWake",
     "MetricsRegistry",
     "NULL_TRACER",
@@ -63,6 +68,7 @@ __all__ = [
     "PredictorDisable",
     "PredictorFiltered",
     "PredictorHit",
+    "PredictorReenable",
     "PredictorTrain",
     "SleepEnter",
     "SleepExit",

@@ -245,6 +245,70 @@ class PredictorDisable:
         metrics.counter("predictor.disables").inc()
 
 
+@dataclass(frozen=True)
+class PredictorReenable:
+    """Probation ended: a disabled (thread, PC) predictor was restored
+    after enough consecutive safe episodes (graceful degradation)."""
+
+    kind: ClassVar[str] = "predictor.reenable"
+
+    ts: int
+    thread: int
+    pc: str
+
+    def record(self, metrics):
+        metrics.counter("predictor.reenables").inc()
+
+
+@dataclass(frozen=True)
+class FaultInjected:
+    """The fault-injection layer perturbed the machine.
+
+    ``fault`` is the seam kind (``timer_drift``, ``timer_loss``,
+    ``invalidation_delay``, ``invalidation_drop``,
+    ``transition_jitter``, ``spurious_wake``, ``stall``), ``target``
+    the affected node/thread, ``magnitude_ns`` the injected skew (may
+    be negative for early timer drift).
+    """
+
+    kind: ClassVar[str] = "fault.injected"
+
+    ts: int
+    fault: str
+    target: int
+    magnitude_ns: int
+
+    def record(self, metrics):
+        metrics.counter("fault.injected").inc()
+        metrics.counter("fault.kind[{}]".format(self.fault)).inc()
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One invariant audit over a finished run's event stream.
+
+    Emitted by :class:`~repro.faults.invariants.InvariantChecker.audit`
+    (one event per invariant name), so a chaos run's verdicts ride in
+    the same stream its behaviour does.
+    """
+
+    kind: ClassVar[str] = "invariant.check"
+
+    ts: int
+    invariant: str
+    passed: bool
+    violations: int
+
+    def record(self, metrics):
+        metrics.counter("invariant.checks").inc()
+        if self.passed:
+            metrics.counter("invariant.passed").inc()
+        else:
+            metrics.counter(
+                "invariant.violations[{}]".format(self.invariant)
+            ).inc(self.violations)
+
+
 #: Every event type, in a stable order (used by exporters and tests).
 EVENT_TYPES = (
     BarrierCheckIn,
@@ -258,4 +322,7 @@ EVENT_TYPES = (
     PredictorTrain,
     PredictorFiltered,
     PredictorDisable,
+    PredictorReenable,
+    FaultInjected,
+    InvariantCheck,
 )

@@ -21,10 +21,13 @@ import json
 from repro.telemetry.events import (
     BarrierDepart,
     BarrierRelease,
+    FaultInjected,
+    InvariantCheck,
     LateWake,
     PredictorDisable,
     PredictorFiltered,
     PredictorHit,
+    PredictorReenable,
     PredictorTrain,
     SleepExit,
     WakeUp,
@@ -134,6 +137,22 @@ def chrome_trace_events(events, process_name="repro"):
             rows.append(_instant(
                 "filtered update {}".format(event.pc), "predictor",
                 event.thread, event.ts, {"bit_ns": event.bit_ns},
+            ))
+        elif isinstance(event, PredictorReenable):
+            rows.append(_instant(
+                "reenable {}".format(event.pc), "predictor",
+                event.thread, event.ts, {"pc": event.pc},
+            ))
+        elif isinstance(event, FaultInjected):
+            rows.append(_instant(
+                "fault:{}".format(event.fault), "fault", event.target,
+                event.ts, {"magnitude_ns": event.magnitude_ns},
+            ))
+        elif isinstance(event, InvariantCheck):
+            rows.append(_instant(
+                "invariant:{}".format(event.invariant), "invariant", 0,
+                event.ts,
+                {"passed": event.passed, "violations": event.violations},
             ))
         elif isinstance(event, PredictorHit):
             # Hits are dense and low-information on a timeline; they are

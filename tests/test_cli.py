@@ -130,3 +130,15 @@ class TestCellCommands:
         err = capsys.readouterr().err
         assert "unknown configuration" in err
         assert "thrifty" in err  # lists the valid choices
+
+
+class TestChaosCommand:
+    def test_campaign_reports_and_exits_zero(self, capsys):
+        assert main([
+            "chaos", "--apps", "fmm", "--threads", "8",
+            "--plans", "1", "--configs", "thrifty",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos campaign" in out
+        assert "OK:" in out
+        assert "0 invariant violation(s)" in out

@@ -1,0 +1,132 @@
+"""Graceful degradation: disable → fallback → probation → re-enable."""
+
+from repro.config import MachineConfig, ThriftyConfig
+from repro.machine import System
+from repro.predict import LastValuePredictor
+from repro.sync import ThriftyBarrier
+from repro.telemetry.events import PredictorReenable
+from repro.telemetry.tracer import Tracer
+
+from tests.conftest import make_domain, run_phases
+
+# Ocean-style swinging intervals (from test_thrifty.py): the last-value
+# prediction is wrong every other instance, so the overprediction
+# cut-off deterministically trips.
+SWING = [
+    [3_000_000 if i % 2 == 0 else 20_000 for i in range(8)]
+    for _ in range(3)
+] + [
+    [3_000_000 + 600_000 if i % 2 == 0 else 100_000 for i in range(8)]
+]
+
+
+class TestPredictorProbation:
+    def test_lifecycle(self):
+        predictor = LastValuePredictor()
+        predictor.disable("b0", thread_id=2)
+        assert predictor.is_disabled("b0", 2)
+        # Two safe episodes at probation 3 are not enough...
+        assert not predictor.note_safe_episode("b0", 2, 3)
+        assert not predictor.note_safe_episode("b0", 2, 3)
+        assert predictor.is_disabled("b0", 2)
+        # ...the third re-enables and reports it.
+        assert predictor.note_safe_episode("b0", 2, 3)
+        assert not predictor.is_disabled("b0", 2)
+        assert predictor.stats.disables == 1
+        assert predictor.stats.reenables == 1
+
+    def test_zero_probation_keeps_paper_policy(self):
+        predictor = LastValuePredictor()
+        predictor.disable("b0", thread_id=2)
+        for _ in range(10):
+            assert not predictor.note_safe_episode("b0", 2, 0)
+        assert predictor.is_disabled("b0", 2)
+        assert predictor.stats.reenables == 0
+
+    def test_safe_episodes_ignored_when_not_disabled(self):
+        predictor = LastValuePredictor()
+        assert not predictor.note_safe_episode("b0", 2, 1)
+        assert predictor.stats.reenables == 0
+
+    def test_redisable_restarts_probation(self):
+        predictor = LastValuePredictor()
+        predictor.disable("b0", thread_id=2)
+        assert not predictor.note_safe_episode("b0", 2, 2)
+        # A fresh disable of an already-disabled pair is idempotent and
+        # keeps the accumulated credit (membership is the bit).
+        predictor.disable("b0", thread_id=2)
+        assert predictor.stats.disables == 1
+        assert predictor.note_safe_episode("b0", 2, 2)
+
+    def test_threads_are_independent(self):
+        predictor = LastValuePredictor()
+        predictor.disable("b0", 1)
+        predictor.disable("b0", 2)
+        assert predictor.note_safe_episode("b0", 1, 1)
+        assert predictor.is_disabled("b0", 2)
+        assert predictor.disabled_threads("b0") == frozenset({2})
+
+
+def build_thrifty(config, telemetry=None):
+    system = System(
+        MachineConfig(n_nodes=4, detailed_memory=True), telemetry=telemetry
+    )
+    domain = make_domain(system, 4)
+    barrier = ThriftyBarrier(system, domain, 4, pc="b0", config=config)
+    return system, domain, barrier
+
+
+class TestBarrierDegradation:
+    def test_disabled_thread_uses_spin_then_sleep_fallback(self):
+        config = ThriftyConfig(fallback_spin_then_sleep=True)
+        system, _, barrier = build_thrifty(config)
+        trace = run_phases(system, barrier, SWING)
+        assert barrier.stats.cutoff_disables > 0
+        assert barrier.stats.fallback_sleeps > 0
+        # The fallback replaces pure disabled spinning entirely.
+        assert barrier.stats.disabled_spins == 0
+        assert len(trace.released_instances()) == 8
+
+    def test_without_fallback_disabled_threads_spin(self):
+        config = ThriftyConfig(fallback_spin_then_sleep=False)
+        system, _, barrier = build_thrifty(config)
+        run_phases(system, barrier, SWING)
+        assert barrier.stats.cutoff_disables > 0
+        assert barrier.stats.disabled_spins > 0
+        assert barrier.stats.fallback_sleeps == 0
+
+    def test_probation_reenables_after_safe_episodes(self):
+        tracer = Tracer()
+        config = ThriftyConfig(
+            fallback_spin_then_sleep=True, probation_episodes=2
+        )
+        system, domain, barrier = build_thrifty(config, telemetry=tracer)
+        trace = run_phases(system, barrier, SWING)
+        assert barrier.stats.probation_reenables > 0
+        assert domain.predictor.stats.reenables == (
+            barrier.stats.probation_reenables
+        )
+        # The re-enable is visible in the telemetry stream.
+        reenables = [
+            event for event in tracer.events
+            if isinstance(event, PredictorReenable)
+        ]
+        assert len(reenables) == barrier.stats.probation_reenables
+        assert all(event.pc == "b0" for event in reenables)
+        assert len(trace.released_instances()) == 8
+
+    def test_no_probation_never_reenables(self):
+        config = ThriftyConfig(fallback_spin_then_sleep=True)
+        system, domain, barrier = build_thrifty(config)
+        run_phases(system, barrier, SWING)
+        assert barrier.stats.probation_reenables == 0
+        assert domain.predictor.stats.reenables == 0
+
+    def test_degradation_defaults_off_stats_unchanged(self):
+        # The default configuration must behave exactly as before this
+        # subsystem existed: no fallback sleeps, no re-enables.
+        system, _, barrier = build_thrifty(ThriftyConfig())
+        run_phases(system, barrier, SWING)
+        assert barrier.stats.fallback_sleeps == 0
+        assert barrier.stats.probation_reenables == 0
+        assert barrier.stats.disabled_spins > 0

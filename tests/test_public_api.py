@@ -18,6 +18,8 @@ SUBPACKAGES = (
     "repro.workloads",
     "repro.workloads.kernels",
     "repro.experiments",
+    "repro.telemetry",
+    "repro.faults",
 )
 
 

@@ -118,6 +118,51 @@ class TestChromeTraceEvents:
         assert [row["ph"] for row in rows] == ["M"]  # just the process name
 
 
+class TestRobustnessRows:
+    def test_fault_and_invariant_instants_drawn(self):
+        from repro.telemetry import (
+            FaultInjected,
+            InvariantCheck,
+            PredictorReenable,
+        )
+
+        events = (
+            FaultInjected(
+                ts=100, fault="timer_loss", target=3, magnitude_ns=2_000
+            ),
+            PredictorReenable(ts=200, thread=1, pc="b0"),
+            InvariantCheck(
+                ts=300, invariant="barrier-safety", passed=True,
+                violations=0,
+            ),
+        )
+        rows = chrome_trace_events(events)
+        by_name = {row["name"]: row for row in rows if row["ph"] == "i"}
+        fault = by_name["fault:timer_loss"]
+        assert fault["cat"] == "fault"
+        assert fault["tid"] == 3
+        assert fault["args"]["magnitude_ns"] == 2_000
+        reenable = by_name["reenable b0"]
+        assert reenable["cat"] == "predictor"
+        invariant = by_name["invariant:barrier-safety"]
+        assert invariant["cat"] == "invariant"
+        assert invariant["args"]["passed"] is True
+
+    def test_chaos_run_trace_contains_fault_rows(self):
+        from repro.faults import FaultPlan
+
+        result = run_experiment(
+            "fmm", "thrifty", threads=THREADS, seed=1, telemetry=True,
+            fault_plan=FaultPlan(
+                timer_drift_probability=1.0, spurious_wake_probability=0.5
+            ),
+        )
+        rows = chrome_trace_events(result.telemetry.events)
+        assert any(
+            row.get("cat") == "fault" and row["ph"] == "i" for row in rows
+        )
+
+
 class TestChromeTraceJson:
     def test_document_shape(self, snapshot):
         document = json.loads(chrome_trace_json(snapshot.events))
