@@ -1,0 +1,59 @@
+"""Journaling overhead: what crash safety costs per cell.
+
+Every journaled cell pays two fsynced appends (``dispatched``,
+``completed``) plus a periodic checkpoint. Against a real simulation
+(tens of milliseconds and up) that must be noise; this benchmark pins
+the cost down with a trivial task so the journal itself dominates, and
+asserts a loose per-cell budget that only a pathological regression
+(e.g. rewriting the whole file per append) would break.
+"""
+
+import pytest
+
+from repro.experiments.journal import RunJournal
+from repro.experiments.parallel import ExperimentEngine
+
+from conftest import once
+
+CELLS = 64
+#: Generous per-cell budget: two fsyncs plus bookkeeping. Loose enough
+#: for slow CI disks, tight enough to catch accidental O(n) appends.
+PER_CELL_BUDGET_S = 0.05
+
+
+def _cells():
+    return [{"name": "c{}".format(index)} for index in range(CELLS)]
+
+
+def _task(cell):
+    return cell["name"]
+
+
+def _run(journal=None):
+    engine = ExperimentEngine(journal=journal)
+    return engine.run_cells(_cells(), task_fn=_task)
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return RunJournal.create(
+        {"kind": "bench-journal", "cells": CELLS},
+        run_id="bench", root=tmp_path,
+    )
+
+
+def test_unjournaled_baseline(benchmark):
+    assert once(benchmark, _run) == [c["name"] for c in _cells()]
+
+
+def test_journaled_run_overhead(benchmark, journal):
+    out = once(benchmark, lambda: _run(journal))
+    assert out == [c["name"] for c in _cells()]
+    elapsed = benchmark.stats.stats.mean
+    per_cell = elapsed / CELLS
+    benchmark.extra_info["per_cell_ms"] = round(per_cell * 1000, 3)
+    assert per_cell < PER_CELL_BUDGET_S
+    # The journal really recorded every cell (durability was bought).
+    state = journal.replay()
+    assert len(state.completed) == CELLS
+    assert state.finished

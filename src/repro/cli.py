@@ -19,15 +19,48 @@ Telemetry surface::
 and prints its summary; ``--trace`` writes a Perfetto-loadable Chrome
 trace, ``--metrics-csv`` a CSV metric dump. ``trace`` prints the
 human-readable timeline digest; ``metrics`` the full metrics tables.
+
+Crash safety::
+
+    repro figure5 --run-id nightly            # journaled sweep
+    repro figure5 --resume nightly            # continue after a kill
+    repro chaos --run-id soak --plans 25
+    repro chaos --resume soak
+
+``--run-id`` journals the campaign (durable per-cell records under
+``$REPRO_JOURNAL_DIR`` or ``<cache dir>/runs``); after a SIGTERM/
+SIGINT, OOM kill, or crash, ``--resume`` reconstructs the work queue,
+skips every finished cell, and produces output byte-identical to an
+uninterrupted run.
+
+Exit codes
+----------
+
+* ``0`` (:data:`EXIT_OK`) — clean completion (chaos: no invariant
+  violations);
+* ``1`` (:data:`EXIT_VIOLATION`) — the campaign finished but found
+  violations / failures;
+* ``2`` (:data:`EXIT_USAGE`) — bad invocation (unknown configuration,
+  argparse errors);
+* ``3`` (:data:`EXIT_RESUMABLE`) — gracefully preempted; everything
+  finished so far is journaled/cached and ``--resume`` continues it.
 """
 
 import argparse
 import sys
 
+from repro.errors import CampaignInterrupted
 from repro.experiments import figures, tables
 from repro.experiments import report
+from repro.experiments.preemption import EXIT_RESUMABLE, PreemptionGuard
 from repro.experiments.runner import DEFAULT_SEED, run_matrix
 from repro.workloads.splash2 import SPLASH2_NAMES
+
+EXIT_OK = 0
+EXIT_VIOLATION = 1
+EXIT_USAGE = 2
+# EXIT_RESUMABLE (3) is defined in repro.experiments.preemption and
+# re-exported here so every exit status reads from one module.
 
 _ARTIFACTS = (
     "table1", "table2", "table3", "figure3", "figure5", "figure6",
@@ -127,6 +160,21 @@ def build_parser():
         "--configs", nargs="*", default=None, metavar="CFG",
         help="configurations for the chaos campaign (default: all five)",
     )
+    parser.add_argument(
+        "--run-id", metavar="ID", default=None,
+        help="journal this campaign under ID (durable per-cell records; "
+             "a killed run becomes resumable)",
+    )
+    parser.add_argument(
+        "--resume", metavar="ID", default=None,
+        help="resume the journaled campaign ID: skip finished cells, "
+             "produce output byte-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--journal-dir", metavar="PATH", default=None,
+        help="run-journal root (default: $REPRO_JOURNAL_DIR or "
+             "<cache dir>/runs)",
+    )
     return parser
 
 
@@ -144,6 +192,40 @@ def _cache_argument(args):
     return True
 
 
+def _journal_argument(args, spec, total):
+    """Build the run journal the flags ask for (or ``None``).
+
+    ``--resume`` opens an existing journal, verifies the invocation
+    describes the *same* campaign (spec hash), and appends a
+    ``resumed`` record; ``--run-id`` creates a fresh one. Returns
+    ``(journal, resumed_count)``.
+    """
+    from repro.experiments.journal import RunJournal
+
+    if args.resume:
+        journal = RunJournal.open(args.resume, root=args.journal_dir)
+        journal.verify_spec(spec)
+        completed = len(journal.replay().completed)
+        journal.record_resumed(
+            completed=completed, remaining=max(0, total - completed),
+        )
+        return journal, completed
+    if args.run_id:
+        return (
+            RunJournal.create(spec, run_id=args.run_id,
+                              root=args.journal_dir),
+            0,
+        )
+    return None, 0
+
+
+def _resume_hint(args, run_id):
+    hint = "--resume {}".format(run_id)
+    if args.journal_dir:
+        hint += " --journal-dir {}".format(args.journal_dir)
+    return hint
+
+
 def _run_cell_command(args):
     """The run / trace / metrics telemetry commands: one traced cell."""
     from repro.experiments.configs import CONFIG_NAMES
@@ -157,7 +239,7 @@ def _run_cell_command(args):
             ),
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     result = run_experiment(
         args.app, args.config, threads=args.threads, seed=args.seed,
         telemetry=True,
@@ -200,11 +282,17 @@ def _run_cell_command(args):
     if args.metrics_csv:
         metrics_to_csv(snapshot.metrics, args.metrics_csv)
         print("metrics CSV written to {}".format(args.metrics_csv))
-    return 0
+    return EXIT_OK
 
 
 def _run_chaos_command(args):
-    """The ``chaos`` command: a seeded fault campaign with auditing."""
+    """The ``chaos`` command: a seeded fault campaign with auditing.
+
+    Journaled (``--run-id``/``--resume``) and preemption-aware: a
+    SIGTERM/SIGINT reports the partial campaign instead of discarding
+    it and exits :data:`EXIT_RESUMABLE`.
+    """
+    from repro import __version__
     from repro.faults.chaos import (
         render_chaos_report,
         run_chaos_campaign,
@@ -214,13 +302,33 @@ def _run_chaos_command(args):
     from repro.experiments.configs import CONFIG_NAMES
 
     apps = tuple(args.apps or ("fmm",))
+    configs = tuple(args.configs or CONFIG_NAMES)
     plans = sample_plans(args.plans, seed=args.seed, intensity=args.intensity)
-    report = run_chaos_campaign(
-        plans, apps=apps, configs=tuple(args.configs or CONFIG_NAMES),
-        threads=args.threads, seed=args.seed,
+    spec = {
+        "kind": "chaos", "apps": list(apps), "configs": list(configs),
+        "threads": args.threads, "seed": args.seed, "plans": args.plans,
+        "intensity": args.intensity, "version": __version__,
+    }
+    journal, _resumed = _journal_argument(
+        args, spec, total=len(apps) * len(configs) * args.plans,
     )
-    _emit(render_chaos_report(report))
-    return 0 if report.ok else 1
+    with PreemptionGuard() as guard:
+        campaign = run_chaos_campaign(
+            plans, apps=apps, configs=configs,
+            threads=args.threads, seed=args.seed,
+            journal=journal, preemption=guard,
+        )
+    _emit(render_chaos_report(campaign))
+    if campaign.interrupted:
+        if campaign.run_id:
+            print("resume with: repro chaos {}".format(
+                _resume_hint(args, campaign.run_id)
+            ))
+        else:
+            print("re-run with --run-id to make interrupted campaigns "
+                  "resumable")
+        return EXIT_RESUMABLE
+    return EXIT_OK if campaign.ok else EXIT_VIOLATION
 
 
 def main(argv=None):
@@ -235,12 +343,59 @@ def main(argv=None):
     matrix = None
     engine_metrics = MetricsRegistry()
     if needs_matrix:
-        matrix = run_matrix(
-            apps=args.apps, threads=args.threads, seed=args.seed,
-            workers=args.workers or None,
-            cache=_cache_argument(args),
-            metrics=engine_metrics,
+        from repro import __version__
+        from repro.experiments.configs import CONFIG_NAMES
+
+        apps = tuple(args.apps or SPLASH2_NAMES)
+        spec = {
+            "kind": "matrix", "apps": list(apps),
+            "configs": list(CONFIG_NAMES), "threads": args.threads,
+            "seed": args.seed, "version": __version__,
+        }
+        journal, resumed = _journal_argument(
+            args, spec, total=len(apps) * len(CONFIG_NAMES),
         )
+        if args.resume:
+            from repro.telemetry.events import ResumeStarted
+
+            ResumeStarted(
+                ts=0, run_id=journal.run_id, completed=resumed,
+                remaining=len(apps) * len(CONFIG_NAMES) - resumed,
+            ).record(engine_metrics)
+        try:
+            with PreemptionGuard() as guard:
+                matrix = run_matrix(
+                    apps=apps, threads=args.threads, seed=args.seed,
+                    workers=args.workers or None,
+                    cache=_cache_argument(args),
+                    metrics=engine_metrics,
+                    journal=journal,
+                    preemption=guard,
+                )
+        except CampaignInterrupted as exc:
+            print(
+                "preempted ({} of {} cells finished); everything "
+                "completed is {}".format(
+                    exc.completed, exc.total,
+                    "journaled and cached" if journal is not None
+                    else "in the result cache",
+                ),
+                file=sys.stderr,
+            )
+            if exc.run_id:
+                print(
+                    "resume with: repro {} {}".format(
+                        args.artifact, _resume_hint(args, exc.run_id)
+                    ),
+                    file=sys.stderr,
+                )
+            if len(engine_metrics):
+                _emit(report.render_metrics(
+                    engine_metrics,
+                    title="Run summary — engine & cache counters",
+                    prefixes=("engine.", "cache."),
+                ))
+            return EXIT_RESUMABLE
     if args.artifact in ("table1", "all"):
         rows, validation = tables.table1_rows()
         _emit(report.render_table1(rows, validation))
@@ -283,7 +438,7 @@ def main(argv=None):
             engine_metrics, title="Run summary — engine & cache counters",
             prefixes=("engine.", "cache."),
         ))
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

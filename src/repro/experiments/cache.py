@@ -162,7 +162,9 @@ class ResultCache:
         return value
 
     def put(self, key, value):
-        """Store a result atomically (temp file + rename)."""
+        """Store a result atomically and durably (temp file, fsync,
+        rename): a crash mid-``put`` leaves at worst a stale ``.tmp``
+        file — never a truncated entry under the real name."""
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -171,6 +173,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -193,8 +197,13 @@ class ResultCache:
         return len(self.entries())
 
     def clear(self):
-        """Remove every entry (the directory itself is kept)."""
-        for path in self.entries():
+        """Remove every entry, plus any ``.tmp`` files a killed writer
+        left behind (the directory itself is kept)."""
+        stale = (
+            self.cache_dir.glob("*/*.tmp")
+            if self.cache_dir.is_dir() else ()
+        )
+        for path in list(self.entries()) + sorted(stale):
             try:
                 path.unlink()
             except OSError:

@@ -2,12 +2,17 @@
 
 The text report is for eyeballs; downstream analysis (plotting the
 figures, regression-tracking the reproduction) wants structured data.
+Both writers are atomic (temp file + rename), so a preempted or
+crashed export never leaves a truncated file where a previous good
+export used to be.
 """
 
 import csv
+import io
 import json
 
 from repro.errors import ConfigError
+from repro.experiments.journal import atomic_write_text
 from repro.experiments.metrics import SEGMENTS, normalized_breakdown
 
 
@@ -47,9 +52,7 @@ def matrix_to_json(matrix, path=None, indent=2):
     JSON text either way."""
     text = json.dumps(matrix_to_records(matrix), indent=indent, sort_keys=True)
     if path is not None:
-        with open(path, "w") as handle:
-            handle.write(text)
-            handle.write("\n")
+        atomic_write_text(path, text + "\n")
     return text
 
 
@@ -65,11 +68,12 @@ def records_to_csv(records, path):
             if not isinstance(value, dict)
         }
     )
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
-        writer.writeheader()
-        for record in records:
-            writer.writerow(
-                {k: v for k, v in record.items() if not isinstance(v, dict)}
-            )
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for record in records:
+        writer.writerow(
+            {k: v for k, v in record.items() if not isinstance(v, dict)}
+        )
+    atomic_write_text(path, buffer.getvalue())
     return columns

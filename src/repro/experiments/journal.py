@@ -1,0 +1,417 @@
+"""Durable append-only run journal for crash-safe campaigns.
+
+A long sweep or chaos campaign dies to preemption, OOM kills, and hung
+workers in production; everything not yet on disk is lost. The journal
+makes every campaign restartable:
+
+* a **run directory** (``<root>/<run_id>/``) holds an atomically
+  written ``spec.json`` (the campaign's full parameter set plus its
+  canonical hash), an append-only ``journal.jsonl`` of per-cell
+  lifecycle records, an atomically replaced ``checkpoint.json``
+  progress snapshot, and a ``results/`` payload store for campaigns
+  whose outputs are not content-addressed elsewhere (chaos reports);
+* every journal line is flushed and fsynced before the append returns,
+  so a record survives an immediate SIGKILL of the writer;
+* replay tolerates a torn tail: a truncated final line (the crash
+  happened mid-append) is ignored, never an error;
+* ``spec.json``, ``checkpoint.json``, and every payload are written
+  with the tmp-file + ``os.replace`` idiom (:func:`atomic_write_bytes`),
+  so readers only ever observe complete files.
+
+Resume (``repro <artifact> --resume <run_id>``, ``repro chaos
+--resume``) opens the journal, verifies the new invocation's spec hash
+against the recorded one (a resumed run must be the *same* campaign),
+and reconstructs which cells already completed; the engine then skips
+them via the result cache / payload store, byte-identically to an
+uninterrupted run.
+"""
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.experiments.cache import default_cache_dir
+
+#: Environment variable overriding the default journal root.
+JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
+
+_SPEC_FILE = "spec.json"
+_JOURNAL_FILE = "journal.jsonl"
+_CHECKPOINT_FILE = "checkpoint.json"
+_RESULTS_DIR = "results"
+
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Journal record kinds, for reference and validation in tests.
+RECORD_KINDS = (
+    "dispatched",
+    "completed",
+    "failed",
+    "failed-permanent",
+    "worker-stalled",
+    "checkpoint",
+    "interrupted",
+    "resumed",
+    "finished",
+)
+
+
+def default_journal_root():
+    """``$REPRO_JOURNAL_DIR`` if set, else ``<cache dir>/runs``."""
+    env = os.environ.get(JOURNAL_DIR_ENV)
+    if env:
+        return Path(env)
+    return default_cache_dir() / "runs"
+
+
+def atomic_write_bytes(path, data, fsync=True):
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    Readers never observe a partial file: they see either the old
+    content or the new content. With ``fsync`` (the default) the data
+    is forced to disk before the rename, so even a crash straddling the
+    replace leaves a complete file behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text, fsync=True):
+    """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def spec_hash(spec):
+    """Canonical hash of a campaign spec (a JSON-serializable dict).
+
+    Two invocations describe the same campaign exactly when their spec
+    hashes match; resume refuses to continue a journal under a
+    different spec.
+    """
+    text = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def run_id_for(spec):
+    """Deterministic default run id: ``run-<spec-hash prefix>``."""
+    return "run-" + spec_hash(spec)[:12]
+
+
+@dataclass
+class JournalState:
+    """The reconstructed state of a run after :meth:`RunJournal.replay`.
+
+    ``completed`` maps cell id to its last ``completed`` record,
+    ``failed_permanent`` to its ``failed-permanent`` record (cleared if
+    a later attempt — e.g. after a resume with more retries —
+    completed). Counters summarize the record stream.
+    """
+
+    spec: dict = field(default_factory=dict)
+    spec_hash: str = ""
+    completed: dict = field(default_factory=dict)
+    failed_permanent: dict = field(default_factory=dict)
+    dispatches: int = 0
+    stalls: int = 0
+    interruptions: int = 0
+    resumes: int = 0
+    checkpoints: int = 0
+    finished: bool = False
+    torn_tail: bool = False
+
+    @property
+    def completed_ids(self):
+        return set(self.completed)
+
+
+class RunJournal:
+    """One campaign's durable on-disk record.
+
+    Use :meth:`create` for a fresh run and :meth:`open` to resume an
+    existing one; the constructor itself only binds paths.
+    """
+
+    def __init__(self, run_id, root=None):
+        if not _RUN_ID_RE.match(run_id):
+            raise ConfigError(
+                "run id must be 1-64 chars of letters, digits, '.', '_', "
+                "or '-' (got {!r})".format(run_id)
+            )
+        self.run_id = run_id
+        self.root = Path(root) if root else default_journal_root()
+        self.run_dir = self.root / run_id
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @classmethod
+    def create(cls, spec, run_id=None, root=None):
+        """Start a fresh journaled run; refuses to clobber an existing
+        journal (resume that instead)."""
+        journal = cls(run_id or run_id_for(spec), root=root)
+        if journal.exists():
+            raise ConfigError(
+                "journal for run {!r} already exists under {}; resume it "
+                "or choose another --run-id".format(
+                    journal.run_id, journal.root
+                )
+            )
+        journal.run_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            journal.run_dir / _SPEC_FILE,
+            json.dumps(
+                {"spec": spec, "spec_hash": spec_hash(spec)},
+                sort_keys=True, indent=2,
+            ) + "\n",
+        )
+        return journal
+
+    @classmethod
+    def open(cls, run_id, root=None):
+        """Bind to an existing journal; raises if there is none."""
+        journal = cls(run_id, root=root)
+        if not journal.exists():
+            raise ConfigError(
+                "no journal for run {!r} under {}".format(
+                    run_id, journal.root
+                )
+            )
+        return journal
+
+    def exists(self):
+        return (self.run_dir / _SPEC_FILE).is_file()
+
+    def spec(self):
+        """The recorded spec document ``{"spec": ..., "spec_hash": ...}``."""
+        with open(self.run_dir / _SPEC_FILE, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def verify_spec(self, spec):
+        """Refuse to resume under a different campaign spec."""
+        recorded = self.spec()
+        if spec_hash(spec) != recorded["spec_hash"]:
+            raise ConfigError(
+                "run {!r} was journaled with a different campaign spec "
+                "(recorded hash {}, invocation hash {}); resume must use "
+                "identical apps/configs/threads/seed".format(
+                    self.run_id,
+                    recorded["spec_hash"][:12],
+                    spec_hash(spec)[:12],
+                )
+            )
+        return recorded["spec"]
+
+    # ------------------------------------------------------------------
+    # append-only record stream
+
+    def append(self, record, **fields):
+        """Durably append one record line (flush + fsync before return)."""
+        if record not in RECORD_KINDS:
+            raise ConfigError(
+                "unknown journal record kind {!r}; choose from {}".format(
+                    record, ", ".join(RECORD_KINDS)
+                )
+            )
+        self._seq += 1
+        body = {"record": record, "seq": self._seq,
+                "t": round(time.time(), 3)}
+        body.update(fields)
+        line = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        with open(self.run_dir / _JOURNAL_FILE, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # Per-cell lifecycle -------------------------------------------------
+
+    def record_dispatched(self, cell_id, index=None, attempt=1, key=None):
+        self.append(
+            "dispatched", cell=cell_id, index=index, attempt=attempt,
+            key=key,
+        )
+
+    def record_completed(self, cell_id, index=None, key=None, cached=False):
+        self.append(
+            "completed", cell=cell_id, index=index, key=key, cached=cached,
+        )
+
+    def record_failed(self, cell_id, index=None, kind="error", message="",
+                      attempt=1):
+        self.append(
+            "failed", cell=cell_id, index=index, kind=kind,
+            message=message, attempt=attempt,
+        )
+
+    def record_failed_permanent(self, cell_id, index=None, kind="error",
+                                message="", attempts=1, retry_delays=()):
+        """A cell exhausted every retry; its full backoff history rides
+        along so post-mortems can see the schedule it was given."""
+        self.append(
+            "failed-permanent", cell=cell_id, index=index, kind=kind,
+            message=message, attempts=attempts,
+            retry_delays=list(retry_delays),
+        )
+
+    def record_worker_stalled(self, worker, cells, stale_s):
+        self.append(
+            "worker-stalled", worker=worker, cells=list(cells),
+            stale_s=round(stale_s, 3),
+        )
+
+    def record_interrupted(self, reason, completed, total):
+        self.append(
+            "interrupted", reason=reason, completed=completed, total=total,
+        )
+
+    def record_resumed(self, completed, remaining):
+        self.append("resumed", completed=completed, remaining=remaining)
+
+    def record_finished(self, completed, failed):
+        self.append("finished", completed=completed, failed=failed)
+
+    # ------------------------------------------------------------------
+    # checkpoint snapshot
+
+    def checkpoint(self, completed, total, tracer=None):
+        """Atomically replace ``checkpoint.json`` and journal the event.
+
+        With a ``tracer`` (enabled), a
+        :class:`~repro.telemetry.events.CheckpointWritten` event is
+        emitted so campaign observability rides the same stream as
+        everything else.
+        """
+        atomic_write_text(
+            self.run_dir / _CHECKPOINT_FILE,
+            json.dumps(
+                {"run_id": self.run_id, "completed": completed,
+                 "total": total},
+                sort_keys=True, indent=2,
+            ) + "\n",
+        )
+        self.append("checkpoint", completed=completed, total=total)
+        if tracer is not None and tracer.enabled:
+            from repro.telemetry.events import CheckpointWritten
+
+            tracer.emit(CheckpointWritten(
+                ts=0, run_id=self.run_id, completed=completed, total=total,
+            ))
+
+    def read_checkpoint(self):
+        """The last checkpoint snapshot, or ``None`` if never written."""
+        path = self.run_dir / _CHECKPOINT_FILE
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    # ------------------------------------------------------------------
+    # payload store (campaigns without a content-addressed cache)
+
+    def _payload_path(self, cell_id):
+        digest = hashlib.sha256(cell_id.encode("utf-8")).hexdigest()
+        return self.run_dir / _RESULTS_DIR / (digest + ".pkl")
+
+    def store_payload(self, cell_id, payload):
+        """Atomically persist one cell's output under the run."""
+        atomic_write_bytes(
+            self._payload_path(cell_id),
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def load_payload(self, cell_id, default=None):
+        """Load a persisted cell output; corruption is a miss, like the
+        result cache, so a torn write can only cost a re-run."""
+        path = self._payload_path(cell_id)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return default
+        except Exception:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return default
+
+    # ------------------------------------------------------------------
+    # replay
+
+    def replay(self):
+        """Reconstruct a :class:`JournalState` from the record stream.
+
+        Crash-consistent: a truncated final line is skipped and flagged
+        (``torn_tail``); the writer fsyncs every append, so anything
+        before the tail is complete.
+        """
+        state = JournalState()
+        try:
+            document = self.spec()
+            state.spec = document.get("spec", {})
+            state.spec_hash = document.get("spec_hash", "")
+        except (OSError, ValueError):
+            pass
+        path = self.run_dir / _JOURNAL_FILE
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.read().split("\n")
+        except OSError:
+            return state
+        for position, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                body = json.loads(line)
+            except ValueError:
+                # Only the final (torn) line may be malformed; anything
+                # earlier was fsynced whole before the next append began.
+                state.torn_tail = True
+                break
+            kind = body.get("record")
+            cell = body.get("cell")
+            if kind == "dispatched":
+                state.dispatches += 1
+            elif kind == "completed" and cell is not None:
+                state.completed[cell] = body
+                state.failed_permanent.pop(cell, None)
+            elif kind == "failed-permanent" and cell is not None:
+                state.failed_permanent[cell] = body
+            elif kind == "worker-stalled":
+                state.stalls += 1
+            elif kind == "interrupted":
+                state.interruptions += 1
+            elif kind == "resumed":
+                state.resumes += 1
+            elif kind == "checkpoint":
+                state.checkpoints += 1
+            elif kind == "finished":
+                state.finished = True
+            self._seq = max(self._seq, body.get("seq", 0))
+        return state
+
+    def __repr__(self):
+        return "RunJournal({!r} at {})".format(self.run_id, self.run_dir)

@@ -15,6 +15,13 @@ in-process or in a worker. The engine adds, around that unit:
   retried and then recorded as structured :class:`CellFailure` records
   while the rest of the matrix completes), and a strict mode that
   raises :class:`~repro.errors.ExperimentError` instead;
+* crash safety: an optional durable
+  :class:`~repro.experiments.journal.RunJournal` records per-cell
+  dispatch/completion/failure (fsynced per line) plus periodic
+  checkpoints, a heartbeat :mod:`~repro.experiments.watchdog` kills
+  and requeues workers whose beats go stale, and a cooperative
+  ``preemption`` guard turns SIGTERM/SIGINT into a graceful, resumable
+  stop (:class:`~repro.errors.CampaignInterrupted`);
 * graceful degradation to a plain serial loop when ``workers=1``, when
   there is at most one cell to run, or when the platform cannot fork.
 
@@ -32,9 +39,17 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.config import MachineConfig
-from repro.errors import ConfigError, ExperimentError
+from repro.errors import CampaignInterrupted, ConfigError, ExperimentError
 from repro.experiments.cache import ResultCache, content_key
+from repro.experiments.preemption import DEFAULT_DRAIN_DEADLINE_S
 from repro.experiments.runner import DEFAULT_SEED
+from repro.experiments.watchdog import (
+    BEAT,
+    BEAT_INDEX,
+    HeartbeatMonitor,
+    WatchdogPolicy,
+    start_beat_thread,
+)
 
 #: Placeholder for a cell whose result has not been produced yet.
 _PENDING = object()
@@ -93,7 +108,8 @@ class CellFailure:
     """Structured record of a cell that could not produce a result.
 
     ``kind`` is ``"error"`` (the cell raised), ``"timeout"`` (exceeded
-    the per-cell budget), or ``"crashed"`` (its worker died).
+    the per-cell budget), ``"crashed"`` (its worker died), or
+    ``"stalled"`` (the watchdog declared its worker hung).
     """
 
     cell: Any
@@ -125,6 +141,7 @@ class EngineStats:
     executed: int = 0
     failures: int = 0
     retries: int = 0
+    stalled: int = 0
 
     def as_dict(self):
         return {
@@ -133,6 +150,7 @@ class EngineStats:
             "executed": self.executed,
             "failures": self.failures,
             "retries": self.retries,
+            "stalled": self.stalled,
         }
 
 
@@ -193,21 +211,44 @@ def record_engine_metrics(metrics, engine):
             metrics.counter("cache.{}".format(name)).inc(value)
 
 
-def _chunk_worker(chunk, out_queue, task_fn):
+def _chunk_worker(chunk, out_queue, task_fn, beat_interval_s=None):
     """Worker body: run a chunk of cells, posting each result as it
     completes so a later crash/timeout only loses unfinished cells.
 
     ``out_queue`` is a SimpleQueue: ``put`` writes synchronously (no
     feeder thread), so once a cell's put returns, its result survives
-    even an immediate SIGKILL of this worker.
+    even an immediate SIGKILL of this worker. With ``beat_interval_s``
+    set, a daemon thread posts heartbeat messages onto the same queue
+    so the supervisor's watchdog can tell a wedged worker from a slow
+    one.
     """
-    for index, cell in chunk:
-        try:
-            result = task_fn(cell)
-        except BaseException as exc:
-            out_queue.put((index, _ERR, (type(exc).__name__, str(exc))))
-        else:
-            out_queue.put((index, _OK, result))
+    stop_beats = None
+    if beat_interval_s is not None:
+        stop_beats = start_beat_thread(out_queue, beat_interval_s)
+    try:
+        for index, cell in chunk:
+            try:
+                result = task_fn(cell)
+            except BaseException as exc:
+                out_queue.put((index, _ERR, (type(exc).__name__, str(exc))))
+            else:
+                out_queue.put((index, _OK, result))
+    finally:
+        if stop_beats is not None:
+            stop_beats.set()
+
+
+def _cell_id(cell, index):
+    """Stable journal identity for one submitted cell.
+
+    Submission order is deterministic, so the index alone identifies
+    the cell across an interrupt/resume; the app/config prefix is for
+    humans reading the journal.
+    """
+    app = getattr(cell, "app", None)
+    if app is not None:
+        return "{}/{}#{}".format(app, getattr(cell, "config", "?"), index)
+    return "cell#{}".format(index)
 
 
 def _fork_context():
@@ -265,11 +306,35 @@ class ExperimentEngine:
         before redispatch, so a transiently-overloaded host is not
         hammered with immediate retries. ``backoff_base_s=0`` restores
         the old immediate-requeue behaviour.
+    journal:
+        Optional :class:`~repro.experiments.journal.RunJournal`; every
+        cell's dispatch, completion, and failure is durably appended,
+        with a checkpoint snapshot every ``checkpoint_every``
+        completions, so a killed run can be resumed.
+    watchdog:
+        ``None`` (off), ``True`` (default policy), a beat interval in
+        seconds, or a :class:`~repro.experiments.watchdog.
+        WatchdogPolicy`. Parallel path only: workers emit heartbeats
+        and a worker whose beats go stale is killed, the cell it was on
+        requeued through the retry/backoff machinery (kind
+        ``"stalled"`` once it strikes out).
+    preemption:
+        Any object with a boolean ``requested`` attribute — typically
+        a :class:`~repro.experiments.preemption.PreemptionGuard`. Once
+        truthy, the engine stops dispatching, drains in-flight workers
+        until the guard's ``drain_deadline_s`` passes (then kills
+        them), flushes the journal, and raises
+        :class:`~repro.errors.CampaignInterrupted`.
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer` receiving the
+        engine-level events (``WorkerStalled``, ``CheckpointWritten``).
     """
 
     def __init__(self, workers=1, cache=None, timeout=None, retries=1,
                  strict=False, chunksize=None, backoff_base_s=0.05,
-                 backoff_cap_s=2.0, backoff_seed=0):
+                 backoff_cap_s=2.0, backoff_seed=0, journal=None,
+                 watchdog=None, preemption=None, tracer=None,
+                 checkpoint_every=8):
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -290,10 +355,22 @@ class ExperimentEngine:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.backoff_seed = backoff_seed
+        if checkpoint_every < 1:
+            raise ConfigError("checkpoint_every must be >= 1")
+        self.journal = journal
+        self.watchdog = WatchdogPolicy.coerce(watchdog)
+        self.preemption = preemption
+        self.tracer = tracer
+        self.checkpoint_every = checkpoint_every
         self.stats = EngineStats()
         #: Backoff delays applied to retries, in the order they were
         #: scheduled (accumulates across runs, like ``stats``).
         self.retry_delays = []
+        #: Per-cell backoff history of the engine's most recent
+        #: ``run_cells`` call: ``{index: [delay, ...]}``. A cell that
+        #: exhausts every attempt lands in the journal as
+        #: ``failed-permanent`` with exactly this list.
+        self.cell_retry_delays = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -311,13 +388,21 @@ class ExperimentEngine:
         self.stats.submitted += len(cells)
         results = [_PENDING] * len(cells)
         use_cache = self.cache is not None and task_fn is None
+        self.cell_retry_delays = {}
+        self._completions_since_checkpoint = 0
         pending = []
         for index, cell in enumerate(cells):
             if use_cache:
-                hit = self.cache.get(cell.key(), _PENDING)
+                key = cell.key()
+                hit = self.cache.get(key, _PENDING)
                 if hit is not _PENDING:
                     results[index] = hit
                     self.stats.cache_hits += 1
+                    if self.journal is not None:
+                        self.journal.record_completed(
+                            _cell_id(cell, index), index=index, key=key,
+                            cached=True,
+                        )
                     continue
             pending.append(index)
         task = task_fn or _run_cell
@@ -329,6 +414,13 @@ class ExperimentEngine:
                 )
             else:
                 self._run_serial(cells, pending, results, task, use_cache)
+        if self.journal is not None:
+            failures = sum(
+                1 for r in results if isinstance(r, CellFailure)
+            )
+            self.journal.record_finished(
+                completed=len(results) - failures, failed=failures,
+            )
         if self.strict:
             failures = [r for r in results if isinstance(r, CellFailure)]
             if failures:
@@ -375,11 +467,55 @@ class ExperimentEngine:
         return matrix
 
     # ------------------------------------------------------------------
+    # crash-safety plumbing shared by both paths
+
+    def _preempted(self):
+        return self.preemption is not None and bool(
+            getattr(self.preemption, "requested", False)
+        )
+
+    def _drain_deadline_s(self):
+        return getattr(
+            self.preemption, "drain_deadline_s", DEFAULT_DRAIN_DEADLINE_S
+        )
+
+    def _note_completion(self, results):
+        """Checkpoint cadence: a journal snapshot every N completions."""
+        if self.journal is None:
+            return
+        self._completions_since_checkpoint += 1
+        if self._completions_since_checkpoint >= self.checkpoint_every:
+            self._completions_since_checkpoint = 0
+            done = sum(1 for r in results if r is not _PENDING)
+            self.journal.checkpoint(done, len(results), tracer=self.tracer)
+
+    def _raise_interrupted(self, results):
+        """Journal the stop and raise the resumable interrupt."""
+        done = sum(1 for r in results if r is not _PENDING)
+        reason = getattr(self.preemption, "reason", "request")
+        run_id = self.journal.run_id if self.journal is not None else ""
+        if self.journal is not None:
+            self.journal.record_interrupted(reason, done, len(results))
+        raise CampaignInterrupted(
+            "campaign preempted ({}) after {} of {} cells; "
+            "resumable".format(reason, done, len(results)),
+            run_id=run_id, completed=done, total=len(results),
+            results=tuple(
+                None if r is _PENDING else r for r in results
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # serial path
 
     def _run_serial(self, cells, pending, results, task, use_cache):
+        journal = self.journal
         for index in pending:
+            if self._preempted():
+                self._raise_interrupted(results)
             cell = cells[index]
+            if journal is not None:
+                journal.record_dispatched(_cell_id(cell, index), index=index)
             try:
                 result = task(cell)
             except Exception as exc:
@@ -388,11 +524,25 @@ class ExperimentEngine:
                     error_type=type(exc).__name__, message=str(exc),
                 )
                 self.stats.failures += 1
+                if journal is not None:
+                    journal.record_failed_permanent(
+                        _cell_id(cell, index), index=index, kind="error",
+                        message="{}: {}".format(
+                            type(exc).__name__, exc
+                        ),
+                    )
             else:
                 results[index] = result
                 self.stats.executed += 1
+                key = None
                 if use_cache:
-                    self.cache.put(cell.key(), result)
+                    key = cell.key()
+                    self.cache.put(key, result)
+                if journal is not None:
+                    journal.record_completed(
+                        _cell_id(cell, index), index=index, key=key,
+                    )
+                self._note_completion(results)
 
     # ------------------------------------------------------------------
     # parallel path
@@ -421,6 +571,9 @@ class ExperimentEngine:
         attempts = {index: 1 for index in pending}
         active = []
         timeout = self.timeout if self.timeout is not None else float("inf")
+        journal = self.journal
+        watchdog = self.watchdog
+        monitor = HeartbeatMonitor(watchdog) if watchdog is not None else None
         # Fresh backoff per parallel run so the retry schedule depends
         # only on the seed and the retry sequence, not engine history.
         backoff = RetryBackoff(
@@ -433,8 +586,15 @@ class ExperimentEngine:
             if status == _OK:
                 results[index] = payload
                 self.stats.executed += 1
+                key = None
                 if use_cache:
-                    self.cache.put(cells[index].key(), payload)
+                    key = cells[index].key()
+                    self.cache.put(key, payload)
+                if journal is not None:
+                    journal.record_completed(
+                        _cell_id(cells[index], index), index=index, key=key,
+                    )
+                self._note_completion(results)
             else:
                 error_type, message = payload
                 results[index] = CellFailure(
@@ -443,6 +603,16 @@ class ExperimentEngine:
                     attempts=attempts[index],
                 )
                 self.stats.failures += 1
+                if journal is not None:
+                    # A raising cell is deterministic — never retried —
+                    # so an error here is already permanent.
+                    journal.record_failed_permanent(
+                        _cell_id(cells[index], index), index=index,
+                        kind="error",
+                        message="{}: {}".format(error_type, message),
+                        attempts=attempts[index],
+                        retry_delays=self.cell_retry_delays.get(index, []),
+                    )
 
         def consume(state, message):
             index, status, payload = message
@@ -451,12 +621,19 @@ class ExperimentEngine:
             record(index, status, payload)
 
         def poll(state):
+            # Heartbeats ride the result queue; they feed the monitor
+            # and are never surfaced as messages.
             try:
-                if state.out_queue.empty():
-                    return None
-                return state.out_queue.get()
+                while not state.out_queue.empty():
+                    message = state.out_queue.get()
+                    if message[0] == BEAT_INDEX and message[1] == BEAT:
+                        if monitor is not None:
+                            monitor.beat(state.process.pid)
+                        continue
+                    return message
             except (EOFError, OSError):
-                return None
+                pass
+            return None
 
         def drain(state, budget):
             stop_at = time.monotonic() + budget
@@ -472,9 +649,15 @@ class ExperimentEngine:
         def retire(index, cell, kind, message=""):
             if attempts[index] <= self.retries:
                 delay = backoff.delay_for(attempts[index])
-                attempts[index] += 1
                 self.stats.retries += 1
                 self.retry_delays.append(delay)
+                self.cell_retry_delays.setdefault(index, []).append(delay)
+                if journal is not None:
+                    journal.record_failed(
+                        _cell_id(cell, index), index=index, kind=kind,
+                        message=message, attempt=attempts[index],
+                    )
+                attempts[index] += 1
                 work.append((time.monotonic() + delay, [(index, cell)]))
             else:
                 results[index] = CellFailure(
@@ -482,12 +665,21 @@ class ExperimentEngine:
                     attempts=attempts[index],
                 )
                 self.stats.failures += 1
+                if journal is not None:
+                    journal.record_failed_permanent(
+                        _cell_id(cell, index), index=index, kind=kind,
+                        message=message, attempts=attempts[index],
+                        retry_delays=self.cell_retry_delays.get(index, []),
+                    )
 
         def launch():
             # One bounded pass: each queued chunk is examined at most
             # once, and chunks still inside their backoff window keep
             # their relative order at the back of the queue.
             now = time.monotonic()
+            beat_interval = (
+                watchdog.beat_interval_s if watchdog is not None else None
+            )
             for _ in range(len(work)):
                 if len(active) >= self.workers:
                     return
@@ -498,10 +690,18 @@ class ExperimentEngine:
                 out_queue = context.SimpleQueue()
                 process = context.Process(
                     target=_chunk_worker,
-                    args=(chunk, out_queue, task),
+                    args=(chunk, out_queue, task, beat_interval),
                     daemon=True,
                 )
                 process.start()
+                if monitor is not None:
+                    monitor.register(process.pid)
+                if journal is not None:
+                    for index, cell in chunk:
+                        journal.record_dispatched(
+                            _cell_id(cell, index), index=index,
+                            attempt=attempts[index],
+                        )
                 active.append(_WorkerState(
                     process=process,
                     out_queue=out_queue,
@@ -515,12 +715,53 @@ class ExperimentEngine:
                 process.terminate()
                 process.join(timeout=1.0)
             if process.is_alive():
+                # SIGKILL also reaps workers SIGTERM cannot reach (a
+                # SIGSTOPped process leaves TERM pending forever).
                 process.kill()
                 process.join(timeout=1.0)
+            if monitor is not None:
+                monitor.forget(process.pid)
+
+        def requeue_innocents(state):
+            # Cells behind the one that struck out never started; they
+            # are requeued without an attempt charged.
+            innocent = [
+                (i, c) for i, c in state.remaining.items()
+                if results[i] is _PENDING
+            ]
+            if innocent:
+                work.append((0.0, innocent))
+
+        def preempt_shutdown():
+            # Stop dispatch, give in-flight workers the drain deadline
+            # to finish their current cells, then kill the rest. Every
+            # completion recorded during the drain reaches the cache
+            # and journal as usual, so nothing finished is lost.
+            work.clear()
+            stop_at = time.monotonic() + self._drain_deadline_s()
+            while active and time.monotonic() < stop_at:
+                for state in list(active):
+                    while True:
+                        message = poll(state)
+                        if message is None:
+                            break
+                        consume(state, message)
+                    if not state.remaining or not state.process.is_alive():
+                        state.process.join(timeout=1.0)
+                        active.remove(state)
+                if active:
+                    time.sleep(_POLL_S)
+            for state in list(active):
+                stop(state)
+                drain(state, _DRAIN_BUDGET_S)
+                active.remove(state)
+            self._raise_interrupted(results)
 
         try:
             launch()
             while active or work:
+                if self._preempted():
+                    preempt_shutdown()
                 progressed = False
                 for state in list(active):
                     while True:
@@ -531,6 +772,8 @@ class ExperimentEngine:
                         progressed = True
                     if not state.remaining:
                         state.process.join(timeout=5.0)
+                        if monitor is not None:
+                            monitor.forget(state.process.pid)
                         active.remove(state)
                         progressed = True
                     elif not state.process.is_alive():
@@ -545,6 +788,8 @@ class ExperimentEngine:
                                 ),
                             )
                         state.process.join(timeout=1.0)
+                        if monitor is not None:
+                            monitor.forget(state.process.pid)
                         active.remove(state)
                         progressed = True
                     elif time.monotonic() >= state.deadline:
@@ -560,12 +805,43 @@ class ExperimentEngine:
                                 stuck, cell, "timeout",
                                 "exceeded {:.3g}s".format(timeout),
                             )
-                        innocent = [
-                            (i, c) for i, c in state.remaining.items()
-                            if results[i] is _PENDING
-                        ]
-                        if innocent:
-                            work.append((0.0, innocent))
+                        requeue_innocents(state)
+                        active.remove(state)
+                        progressed = True
+                    elif (
+                        monitor is not None
+                        and monitor.is_stale(state.process.pid)
+                    ):
+                        # Wedged worker: beats stopped (the process is
+                        # frozen, not slow — a busy cell is the timeout
+                        # branch's job). Kill it, strike the cell it
+                        # was on, requeue the rest.
+                        stale_s = monitor.staleness(state.process.pid)
+                        pid = state.process.pid
+                        monitor.declare_stall(pid)
+                        self.stats.stalled += 1
+                        if journal is not None:
+                            journal.record_worker_stalled(
+                                pid, sorted(state.remaining), stale_s,
+                            )
+                        if self.tracer is not None and self.tracer.enabled:
+                            from repro.telemetry.events import WorkerStalled
+
+                            self.tracer.emit(WorkerStalled(
+                                ts=0, worker=pid,
+                                cells=len(state.remaining),
+                                stale_s=round(stale_s, 3),
+                            ))
+                        stop(state)
+                        drain(state, _DRAIN_BUDGET_S)
+                        stuck = next(iter(state.remaining), None)
+                        if stuck is not None:
+                            cell = state.remaining.pop(stuck)
+                            retire(
+                                stuck, cell, "stalled",
+                                "no heartbeat for {:.2f}s".format(stale_s),
+                            )
+                        requeue_innocents(state)
                         active.remove(state)
                         progressed = True
                 launch()

@@ -265,7 +265,7 @@ def run_matrix(
     apps=None, threads=64, seed=DEFAULT_SEED,
     machine_config=None, configs=None,
     workers=1, cache=None, timeout=None, retries=1, strict=True,
-    metrics=None,
+    metrics=None, journal=None, preemption=None, watchdog=None,
 ):
     """The full evaluation sweep: {app: {config: ExperimentResult}}.
 
@@ -287,11 +287,24 @@ def run_matrix(
     engine and result-cache counters (submitted / executed / cache
     hits, misses, errors) are recorded into it, which is how the CLI
     surfaces them in its run summary.
+
+    Crash safety rides three optional arguments, all forwarded to the
+    engine: ``journal`` (a :class:`~repro.experiments.journal.
+    RunJournal` durably recording per-cell progress), ``preemption``
+    (a :class:`~repro.experiments.preemption.PreemptionGuard`-like
+    object turning SIGTERM/SIGINT into a graceful
+    :class:`~repro.errors.CampaignInterrupted`), and ``watchdog`` (a
+    hung-worker heartbeat policy). Any of them forces the engine path
+    even at ``workers=1`` with no cache.
     """
     from repro.workloads.splash2 import SPLASH2_NAMES
 
     apps = tuple(apps or SPLASH2_NAMES)
-    if workers == 1 and cache is None:
+    crash_safe = (
+        journal is not None or preemption is not None
+        or watchdog is not None
+    )
+    if workers == 1 and cache is None and not crash_safe:
         matrix = {
             app: run_app(
                 app, threads=threads, seed=seed,
@@ -302,11 +315,11 @@ def run_matrix(
         if metrics is not None:
             # Mirror the engine-path counter set exactly, so serial and
             # parallel runs print byte-identical CLI summaries.
+            from repro.experiments.parallel import EngineStats
+
             cells = sum(len(row) for row in matrix.values())
-            for name, value in (
-                ("submitted", cells), ("cache_hits", 0),
-                ("executed", cells), ("failures", 0), ("retries", 0),
-            ):
+            mirror = EngineStats(submitted=cells, executed=cells)
+            for name, value in mirror.as_dict().items():
                 metrics.counter("engine.{}".format(name)).inc(value)
         return matrix
     from repro.experiments.parallel import (
@@ -316,12 +329,17 @@ def run_matrix(
 
     engine = ExperimentEngine(
         workers=workers, cache=cache, timeout=timeout,
-        retries=retries, strict=strict,
+        retries=retries, strict=strict, journal=journal,
+        preemption=preemption, watchdog=watchdog,
     )
-    matrix = engine.run_matrix(
-        apps, configs=configs, threads=threads, seed=seed,
-        machine_config=machine_config,
-    )
-    if metrics is not None:
-        record_engine_metrics(metrics, engine)
+    try:
+        matrix = engine.run_matrix(
+            apps, configs=configs, threads=threads, seed=seed,
+            machine_config=machine_config,
+        )
+    finally:
+        # Recorded even on CampaignInterrupted: a preempted run's
+        # partial counters are exactly what the operator needs to see.
+        if metrics is not None:
+            record_engine_metrics(metrics, engine)
     return matrix

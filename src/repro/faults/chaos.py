@@ -100,10 +100,22 @@ class ChaosCellReport:
 
 @dataclass
 class ChaosCampaignReport:
-    """A full campaign: every cell plus roll-up properties."""
+    """A full campaign: every cell plus roll-up properties.
+
+    ``interrupted`` marks a campaign stopped by preemption before every
+    planned cell ran — :attr:`cells` then holds the partial results
+    (never discarded), ``planned`` what a full run would contain, and
+    ``run_id`` (when journaled) what to pass to ``--resume``.
+    ``resumed_cells`` counts cells restored from the journal's payload
+    store instead of re-simulated.
+    """
 
     cells: list = field(default_factory=list)
     deadline_ns: int = DEFAULT_DEADLINE_NS
+    planned: int = 0
+    interrupted: bool = False
+    run_id: str = ""
+    resumed_cells: int = 0
 
     @property
     def violations(self):
@@ -199,11 +211,23 @@ def _clean_result(app, config, threads, seed, machine_config):
 def run_chaos_campaign(
     plans, apps=DEFAULT_APPS, configs=CONFIG_NAMES, threads=16,
     seed=DEFAULT_SEED, machine_config=None,
-    deadline_ns=DEFAULT_DEADLINE_NS,
+    deadline_ns=DEFAULT_DEADLINE_NS, journal=None, preemption=None,
 ):
     """Sweep plans × apps × configs; returns a
     :class:`ChaosCampaignReport`. Clean reference runs are shared per
-    (app, config)."""
+    (app, config).
+
+    Crash safety: with a ``journal``
+    (:class:`~repro.experiments.journal.RunJournal`), every finished
+    cell's report — and each shared clean reference — is atomically
+    persisted in the journal's payload store, so a resumed campaign
+    restores them instead of re-simulating; results are byte-identical
+    either way (the cells are seeded). With ``preemption`` (anything
+    exposing ``requested``), a SIGTERM/SIGINT between cells — or a
+    raw ``KeyboardInterrupt`` mid-cell — ends the campaign gracefully:
+    the partial report is *returned*, never discarded, flagged
+    ``interrupted`` so the CLI can exit with the resumable status.
+    """
     configs = tuple(configs)
     unknown = [c for c in configs if c not in CONFIG_NAMES]
     if unknown:
@@ -212,21 +236,80 @@ def run_chaos_campaign(
                 ", ".join(map(repr, unknown)), ", ".join(CONFIG_NAMES)
             )
         )
-    report = ChaosCampaignReport(deadline_ns=deadline_ns)
+    apps = tuple(apps)
+    report = ChaosCampaignReport(
+        deadline_ns=deadline_ns,
+        planned=len(apps) * len(configs) * len(plans),
+    )
+    if journal is not None:
+        report.run_id = journal.run_id
+    state = journal.replay() if journal is not None else None
     clean_cache = {}
-    for app in apps:
-        for config in configs:
-            key = (app, config)
-            if key not in clean_cache:
-                clean_cache[key] = _clean_result(
+
+    def preempted():
+        return preemption is not None and bool(
+            getattr(preemption, "requested", False)
+        )
+
+    def clean_for(app, config):
+        key = (app, config)
+        if key not in clean_cache:
+            cell_id = "clean/{}/{}".format(app, config)
+            clean = (
+                journal.load_payload(cell_id)
+                if journal is not None else None
+            )
+            if clean is None:
+                clean = _clean_result(
                     app, config, threads, seed, machine_config
                 )
-            for plan in plans:
-                report.cells.append(run_chaos_cell(
-                    app, config, plan, threads=threads, seed=seed,
-                    machine_config=machine_config,
-                    deadline_ns=deadline_ns, clean=clean_cache[key],
-                ))
+                if journal is not None:
+                    journal.store_payload(cell_id, clean)
+            clean_cache[key] = clean
+        return clean_cache[key]
+
+    def mark_interrupted(reason):
+        report.interrupted = True
+        if journal is not None:
+            journal.record_interrupted(
+                reason, len(report.cells), report.planned
+            )
+
+    try:
+        for app in apps:
+            for config in configs:
+                for plan_index, plan in enumerate(plans):
+                    if preempted():
+                        mark_interrupted(
+                            getattr(preemption, "reason", "request")
+                        )
+                        return report
+                    cell_id = "{}/{}/plan{}".format(app, config, plan_index)
+                    if state is not None and cell_id in state.completed:
+                        restored = journal.load_payload(cell_id)
+                        if restored is not None:
+                            report.cells.append(restored)
+                            report.resumed_cells += 1
+                            continue
+                    if journal is not None:
+                        journal.record_dispatched(cell_id)
+                    cell = run_chaos_cell(
+                        app, config, plan, threads=threads, seed=seed,
+                        machine_config=machine_config,
+                        deadline_ns=deadline_ns,
+                        clean=clean_for(app, config),
+                    )
+                    if journal is not None:
+                        journal.store_payload(cell_id, cell)
+                        journal.record_completed(cell_id)
+                    report.cells.append(cell)
+    except KeyboardInterrupt:
+        # A raw Ctrl-C mid-simulation (no guard installed, or the
+        # operator pressed it twice): still report what finished.
+        mark_interrupted("SIGINT")
+        return report
+    if journal is not None:
+        journal.record_finished(completed=len(report.cells), failed=0)
     return report
 
 
@@ -272,6 +355,19 @@ def render_chaos_report(report):
     )]
     for violation in report.violations:
         lines.append("VIOLATION " + violation.describe())
+    if report.resumed_cells:
+        lines.append(
+            "{} cell(s) restored from the run journal (not re-run)".format(
+                report.resumed_cells
+            )
+        )
+    if report.interrupted:
+        lines.append(
+            "INTERRUPTED (resumable): {} of {} planned cell(s) finished "
+            "before preemption; partial results above".format(
+                len(report.cells), report.planned
+            )
+        )
     lines.append(
         "{}: {} fault(s) injected, {} late wake-up(s), "
         "{} invariant violation(s)".format(

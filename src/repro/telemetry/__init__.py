@@ -30,6 +30,7 @@ from repro.telemetry.events import (
     BarrierCheckIn,
     BarrierDepart,
     BarrierRelease,
+    CheckpointWritten,
     FaultInjected,
     InvariantCheck,
     LateWake,
@@ -38,10 +39,12 @@ from repro.telemetry.events import (
     PredictorHit,
     PredictorReenable,
     PredictorTrain,
+    ResumeStarted,
     SleepEnter,
     SleepExit,
     SleepRecord,
     WakeUp,
+    WorkerStalled,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.tracer import (
@@ -56,6 +59,7 @@ __all__ = [
     "BarrierCheckIn",
     "BarrierDepart",
     "BarrierRelease",
+    "CheckpointWritten",
     "Counter",
     "FaultInjected",
     "Gauge",
@@ -70,6 +74,7 @@ __all__ = [
     "PredictorHit",
     "PredictorReenable",
     "PredictorTrain",
+    "ResumeStarted",
     "SleepEnter",
     "SleepExit",
     "SleepRecord",
@@ -77,4 +82,5 @@ __all__ = [
     "TelemetrySnapshot",
     "Tracer",
     "WakeUp",
+    "WorkerStalled",
 ]

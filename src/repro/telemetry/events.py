@@ -309,6 +309,59 @@ class InvariantCheck:
             ).inc(self.violations)
 
 
+@dataclass(frozen=True)
+class CheckpointWritten:
+    """The run journal atomically replaced its checkpoint snapshot.
+
+    An engine-level (wall-clock) event, not a simulated one: ``ts`` is
+    always 0 and ordering is by stream position, so journaled runs stay
+    byte-deterministic.
+    """
+
+    kind: ClassVar[str] = "engine.checkpoint"
+
+    ts: int
+    run_id: str
+    completed: int
+    total: int
+
+    def record(self, metrics):
+        metrics.counter("engine.checkpoints_written").inc()
+
+
+@dataclass(frozen=True)
+class WorkerStalled:
+    """The watchdog declared a worker dead: its heartbeats went stale
+    for ``stale_s`` seconds and it was killed, its ``cells`` unfinished
+    cells requeued through the retry machinery."""
+
+    kind: ClassVar[str] = "engine.worker_stalled"
+
+    ts: int
+    worker: int
+    cells: int
+    stale_s: float
+
+    def record(self, metrics):
+        metrics.counter("engine.worker_stalls").inc()
+
+
+@dataclass(frozen=True)
+class ResumeStarted:
+    """A journaled campaign resumed: ``completed`` cells were found
+    finished in the journal, ``remaining`` are still to run."""
+
+    kind: ClassVar[str] = "engine.resume"
+
+    ts: int
+    run_id: str
+    completed: int
+    remaining: int
+
+    def record(self, metrics):
+        metrics.counter("engine.resumes").inc()
+
+
 #: Every event type, in a stable order (used by exporters and tests).
 EVENT_TYPES = (
     BarrierCheckIn,
@@ -325,4 +378,7 @@ EVENT_TYPES = (
     PredictorReenable,
     FaultInjected,
     InvariantCheck,
+    CheckpointWritten,
+    WorkerStalled,
+    ResumeStarted,
 )

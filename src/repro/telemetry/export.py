@@ -21,6 +21,7 @@ import json
 from repro.telemetry.events import (
     BarrierDepart,
     BarrierRelease,
+    CheckpointWritten,
     FaultInjected,
     InvariantCheck,
     LateWake,
@@ -29,8 +30,10 @@ from repro.telemetry.events import (
     PredictorHit,
     PredictorReenable,
     PredictorTrain,
+    ResumeStarted,
     SleepExit,
     WakeUp,
+    WorkerStalled,
 )
 
 _PID = 0
@@ -153,6 +156,29 @@ def chrome_trace_events(events, process_name="repro"):
                 "invariant:{}".format(event.invariant), "invariant", 0,
                 event.ts,
                 {"passed": event.passed, "violations": event.violations},
+            ))
+        elif isinstance(event, CheckpointWritten):
+            rows.append(_instant(
+                "checkpoint {}".format(event.run_id), "engine", 0,
+                event.ts,
+                {"completed": event.completed, "total": event.total},
+            ))
+        elif isinstance(event, WorkerStalled):
+            rows.append(_instant(
+                "worker stalled", "engine", 0, event.ts,
+                {
+                    "worker": event.worker,
+                    "cells": event.cells,
+                    "stale_s": event.stale_s,
+                },
+            ))
+        elif isinstance(event, ResumeStarted):
+            rows.append(_instant(
+                "resume {}".format(event.run_id), "engine", 0, event.ts,
+                {
+                    "completed": event.completed,
+                    "remaining": event.remaining,
+                },
             ))
         elif isinstance(event, PredictorHit):
             # Hits are dense and low-information on a timeline; they are

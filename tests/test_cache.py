@@ -339,6 +339,28 @@ class TestResultCacheStore:
         cache.clear()
         assert len(cache) == 0
 
+    def test_stale_tmp_never_shadows_a_good_entry(self, tmp_path):
+        # A writer killed mid-put leaves a .tmp file behind; it must be
+        # invisible to readers and must not corrupt the real entry.
+        cache = ResultCache(tmp_path)
+        key = _key_for(MachineConfig())
+        cache.put(key, "good")
+        torn = cache._entry_path(key).parent / "deadbeef.tmp"
+        torn.write_bytes(b"\x00half a pickle")
+        assert cache.get(key) == "good"
+        assert cache.errors == 0
+        assert len(cache) == 1  # the torn tmp is not an entry
+
+    def test_clear_sweeps_stale_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key_for(MachineConfig())
+        cache.put(key, "entry")
+        torn = cache._entry_path(key).parent / "leftover.tmp"
+        torn.write_bytes(b"partial")
+        cache.clear()
+        assert len(cache) == 0
+        assert not torn.exists()
+
     def test_prune_evicts_oldest_first(self, tmp_path):
         cache = ResultCache(tmp_path)
         keys = [_key_for(MachineConfig(), seed=seed) for seed in range(4)]

@@ -142,3 +142,121 @@ class TestChaosCommand:
         assert "Chaos campaign" in out
         assert "OK:" in out
         assert "0 invariant violation(s)" in out
+
+
+class TestExitCodes:
+    """Every documented exit status, from repro.cli's docstring.
+
+    0 = clean, 1 = campaign finished with violations, 2 = bad
+    invocation, 3 = gracefully preempted (resumable).
+    """
+
+    def test_constants(self):
+        from repro.cli import (
+            EXIT_OK,
+            EXIT_RESUMABLE,
+            EXIT_USAGE,
+            EXIT_VIOLATION,
+        )
+
+        assert (EXIT_OK, EXIT_VIOLATION, EXIT_USAGE, EXIT_RESUMABLE) == (
+            0, 1, 2, 3,
+        )
+
+    def test_usage_error_exits_2(self, capsys):
+        assert main(["run", "--config", "nonsense"]) == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_chaos_violations_exit_1(self, capsys, monkeypatch):
+        import repro.faults.chaos as chaos_module
+        from repro.faults.chaos import ChaosCampaignReport, ChaosCellReport
+        from repro.faults.plan import FaultPlan
+
+        class StubViolation:
+            def describe(self):
+                return "stub: a thread overslept"
+
+        cell = ChaosCellReport(
+            app="fmm", config="thrifty", plan=FaultPlan.sample(0),
+            threads=8, violations=(StubViolation(),), injected={},
+            late_wakes=0, releases=1, execution_time_ns=1,
+            energy_joules=1.0,
+        )
+        report = ChaosCampaignReport(cells=[cell], planned=1)
+
+        def fake_campaign(*args, **kwargs):
+            return report
+
+        monkeypatch.setattr(
+            chaos_module, "run_chaos_campaign", fake_campaign,
+        )
+        assert main([
+            "chaos", "--apps", "fmm", "--threads", "8", "--plans", "1",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "stub: a thread overslept" in out
+
+    def test_chaos_interrupt_exits_3_with_resume_hint(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.faults.chaos as chaos_module
+        from repro.faults.chaos import ChaosCampaignReport
+
+        report = ChaosCampaignReport(
+            cells=[], planned=5, interrupted=True, run_id="soak",
+        )
+        monkeypatch.setattr(
+            chaos_module, "run_chaos_campaign",
+            lambda *args, **kwargs: report,
+        )
+        assert main([
+            "chaos", "--apps", "fmm", "--threads", "8", "--plans", "1",
+            "--run-id", "soak", "--journal-dir", str(tmp_path),
+        ]) == 3
+        out = capsys.readouterr().out
+        assert "INTERRUPTED (resumable)" in out
+        assert "repro chaos --resume soak" in out
+
+    def test_chaos_interrupt_without_journal_suggests_run_id(
+        self, capsys, monkeypatch
+    ):
+        import repro.faults.chaos as chaos_module
+        from repro.faults.chaos import ChaosCampaignReport
+
+        report = ChaosCampaignReport(cells=[], planned=5, interrupted=True)
+        monkeypatch.setattr(
+            chaos_module, "run_chaos_campaign",
+            lambda *args, **kwargs: report,
+        )
+        assert main([
+            "chaos", "--apps", "fmm", "--threads", "8", "--plans", "1",
+        ]) == 3
+        assert "--run-id" in capsys.readouterr().out
+
+
+class TestChaosResume:
+    def test_journaled_campaign_resumes_without_rerunning(
+        self, capsys, tmp_path
+    ):
+        root = str(tmp_path / "runs")
+        common = [
+            "chaos", "--apps", "fmm", "--threads", "8", "--plans", "2",
+            "--configs", "thrifty", "--journal-dir", root,
+        ]
+        assert main(common + ["--run-id", "round"]) == 0
+        first = capsys.readouterr().out
+        assert "restored from the run journal" not in first
+
+        assert main(common + ["--resume", "round"]) == 0
+        second = capsys.readouterr().out
+        assert "2 cell(s) restored from the run journal" in second
+        # Identical campaign summary either way (the restored cells are
+        # the journaled payloads of the first run).
+        def table(text):
+            return [
+                line for line in text.splitlines()
+                if line.startswith(("fmm", "OK:"))
+            ]
+
+        assert table(first) == table(second)
