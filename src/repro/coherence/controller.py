@@ -48,6 +48,7 @@ class CacheController:
         callbacks = self._monitors.pop(line_addr, None)
         if not callbacks:
             return
+        self.memsys.unwatch_line(line_addr, self.node_id)
         injector = self.sim.fault_injector
         if injector is not None:
             delay = injector.on_monitor_fire(self.node_id, line_addr)
@@ -78,7 +79,10 @@ class CacheController:
         when it is invalidated. Returns the line address (the disarm
         key)."""
         line_addr = self.memsys.line_of(flag_addr)
-        self._monitors.setdefault(line_addr, []).append(callback)
+        callbacks = self._monitors.setdefault(line_addr, [])
+        if not callbacks:
+            self.memsys.watch_line(line_addr, self.node_id)
+        callbacks.append(callback)
         return line_addr
 
     def disarm_flag_monitor(self, line_addr, callback):
@@ -92,6 +96,7 @@ class CacheController:
             return
         if not callbacks:
             del self._monitors[line_addr]
+            self.memsys.unwatch_line(line_addr, self.node_id)
 
     def arm_wake_timer(self, delay_ns, callback):
         """Arm the countdown timer; returns a cancellable handle."""
@@ -138,12 +143,12 @@ class CacheController:
         dirty = list(self.hierarchy.dirty_lines())
         if extra_lines < 0:
             raise ProtocolError("extra_lines must be non-negative")
-        yield self.sim.timeout(config.flush_base_ns)
+        yield config.flush_base_ns
         for line in dirty:
             self.hierarchy.invalidate(line)
             yield from self.memsys.writeback(self.node_id, line)
         if extra_lines:
-            yield self.sim.timeout(extra_lines * config.flush_per_line_ns)
+            yield extra_lines * config.flush_per_line_ns
         flushed = len(dirty) + extra_lines
         self.stats_flushed_lines += flushed
         return flushed

@@ -44,6 +44,11 @@ class LineLock:
         self.sim = sim
         self._locked = False
         self._waiters = deque()
+        # Reusable already-triggered event for the uncontended grant:
+        # yielding a triggered event continues the process immediately,
+        # so handing out the same one every time is indistinguishable
+        # from allocating a fresh pre-succeeded event per acquire.
+        self._granted = sim.event().succeed()
 
     @property
     def locked(self):
@@ -51,12 +56,11 @@ class LineLock:
 
     def acquire(self):
         """An event that succeeds once the lock is held by the caller."""
-        event = self.sim.event()
         if not self._locked:
             self._locked = True
-            event.succeed()
-        else:
-            self._waiters.append(event)
+            return self._granted
+        event = self.sim.event()
+        self._waiters.append(event)
         return event
 
     def release(self):

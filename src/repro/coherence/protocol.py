@@ -58,8 +58,18 @@ class MemorySystem:
             Directory(sim, node) for node in range(config.n_nodes)
         ]
         self.controllers = [None] * config.n_nodes  # set by machine layer
+        # line_addr -> set of node ids with at least one armed flag
+        # monitor; maintained by the controllers so fast-mode stores
+        # notify only the watching nodes instead of scanning them all.
+        self._monitor_nodes = {}
         self._values = {}
         self.stats = MemoryStats()
+        # Config scalars cached as attributes: the transaction
+        # generators touch these on every access.
+        self._detailed = config.detailed_memory
+        self._line_bytes = config.line_bytes
+        self._page_bytes = config.page_bytes
+        self._n_nodes = config.n_nodes
         # 64-byte line over the 16-byte, 250 MHz bus = 4 cycles of 4 ns.
         bus_cycle_ns = int(round(1_000 / config.bus_freq_mhz))
         transfer_ns = (
@@ -70,14 +80,16 @@ class MemorySystem:
     # -- address helpers --------------------------------------------------
 
     def line_of(self, addr):
-        return addr // self.config.line_bytes
+        return addr // self._line_bytes
 
     def home_of(self, addr):
         """Round-robin page interleaving of shared data (Table 1)."""
-        return (addr // self.config.page_bytes) % self.config.n_nodes
+        return (addr // self._page_bytes) % self._n_nodes
 
     def home_of_line(self, line_addr):
-        return self.home_of(line_addr * self.config.line_bytes)
+        return (
+            line_addr * self._line_bytes // self._page_bytes
+        ) % self._n_nodes
 
     def peek(self, addr):
         """Functional read without timing (for assertions and oracles)."""
@@ -91,36 +103,38 @@ class MemorySystem:
 
     def load(self, node, addr):
         """Read ``addr`` from ``node``; returns the value."""
-        self.stats.loads += 1
-        if not self.config.detailed_memory:
-            yield self.sim.timeout(FAST_MODE_ACCESS_NS)
+        stats = self.stats
+        stats.loads += 1
+        if not self._detailed:
+            yield FAST_MODE_ACCESS_NS
             return self._values.get(addr, 0)
-        line = self.line_of(addr)
+        line = addr // self._line_bytes
         hierarchy = self.hierarchies[node]
         latency, state = hierarchy.lookup(line)
-        yield self.sim.timeout(latency)
+        yield latency
         if state is not None:
-            if hierarchy.l1.lookup(line) is not None:
-                self.stats.l1_hits += 1
+            # lookup() reports the L1 round trip iff the L1 hit.
+            if latency == hierarchy._l1_hit_ns:
+                stats.l1_hits += 1
             else:
-                self.stats.l2_hits += 1
+                stats.l2_hits += 1
             return self._values.get(addr, 0)
-        self.stats.misses += 1
+        stats.misses += 1
         yield from self._shared_miss(node, line)
         return self._values.get(addr, 0)
 
     def store(self, node, addr, value):
         """Write ``value`` to ``addr`` from ``node``."""
         self.stats.stores += 1
-        if not self.config.detailed_memory:
-            yield self.sim.timeout(FAST_MODE_ACCESS_NS)
+        if not self._detailed:
+            yield FAST_MODE_ACCESS_NS
             self._values[addr] = value
-            self._fast_mode_notify(node, self.line_of(addr))
+            self._fast_mode_notify(node, addr // self._line_bytes)
             return
-        line = self.line_of(addr)
+        line = addr // self._line_bytes
         hierarchy = self.hierarchies[node]
         latency, state = hierarchy.lookup(line)
-        yield self.sim.timeout(latency)
+        yield latency
         if state is LineState.MODIFIED:
             self._values[addr] = value
             return
@@ -134,16 +148,16 @@ class MemorySystem:
         barrier count and for lock acquisition (test&set style).
         """
         self.stats.rmws += 1
-        if not self.config.detailed_memory:
-            yield self.sim.timeout(FAST_MODE_ACCESS_NS)
+        if not self._detailed:
+            yield FAST_MODE_ACCESS_NS
             old = self._values.get(addr, 0)
             self._values[addr] = update(old)
-            self._fast_mode_notify(node, self.line_of(addr))
+            self._fast_mode_notify(node, addr // self._line_bytes)
             return old
-        line = self.line_of(addr)
+        line = addr // self._line_bytes
         hierarchy = self.hierarchies[node]
         latency, state = hierarchy.lookup(line)
-        yield self.sim.timeout(latency)
+        yield latency
         if state is not LineState.MODIFIED:
             yield from self._exclusive_miss(node, line)
         old = self._values.get(addr, 0)
@@ -154,12 +168,12 @@ class MemorySystem:
         """Write a dirty line back to its home (PutX); drops ownership."""
         self.stats.writebacks += 1
         home = self.home_of_line(line)
-        yield self.network.transfer(node, home, DATA_BYTES)
+        yield self.network.delivery_ns(node, home, DATA_BYTES)
         directory = self.directories[home]
         yield directory.lock(line).acquire()
         try:
             directory.release_exclusive(line, node)
-            yield self.sim.timeout(self.memory_access_ns)
+            yield self.memory_access_ns
         finally:
             directory.lock(line).release()
 
@@ -168,7 +182,7 @@ class MemorySystem:
     def _shared_miss(self, node, line):
         """GetS: obtain a shared copy of ``line`` at ``node``."""
         home = self.home_of_line(line)
-        yield self.network.transfer(node, home, CONTROL_BYTES)
+        yield self.network.delivery_ns(node, home, CONTROL_BYTES)
         directory = self.directories[home]
         yield directory.lock(line).acquire()
         try:
@@ -182,9 +196,9 @@ class MemorySystem:
                 # (eviction raced the re-read); treat memory as current.
                 entry.state = DirState.UNCACHED
                 entry.owner = None
-            yield self.sim.timeout(self.memory_access_ns)
+            yield self.memory_access_ns
             directory.grant_shared(line, node)
-            yield self.network.transfer(home, node, DATA_BYTES)
+            yield self.network.delivery_ns(home, node, DATA_BYTES)
             self._fill(node, line, LineState.SHARED)
         finally:
             directory.lock(line).release()
@@ -192,7 +206,7 @@ class MemorySystem:
     def _exclusive_miss(self, node, line):
         """GetX: obtain an exclusive (M) copy of ``line`` at ``node``."""
         home = self.home_of_line(line)
-        yield self.network.transfer(node, home, CONTROL_BYTES)
+        yield self.network.delivery_ns(node, home, CONTROL_BYTES)
         directory = self.directories[home]
         yield directory.lock(line).acquire()
         try:
@@ -205,10 +219,10 @@ class MemorySystem:
                 victims = sorted(entry.sharers - {node})
                 if victims:
                     yield from self._invalidate_sharers(home, line, victims)
-            yield self.sim.timeout(self.memory_access_ns)
+            yield self.memory_access_ns
             entry.sharers &= {node}
             directory.grant_exclusive(line, node)
-            yield self.network.transfer(home, node, DATA_BYTES)
+            yield self.network.delivery_ns(home, node, DATA_BYTES)
             self._fill(node, line, LineState.MODIFIED)
         finally:
             directory.lock(line).release()
@@ -217,9 +231,9 @@ class MemorySystem:
         """Fan INVs out in parallel; wait for every ack at the home."""
 
         def one_round_trip(victim):
-            yield self.network.transfer(home, victim, CONTROL_BYTES)
+            yield self.network.delivery_ns(home, victim, CONTROL_BYTES)
             self._deliver_invalidation(victim, line)
-            yield self.network.transfer(victim, home, CONTROL_BYTES)
+            yield self.network.delivery_ns(victim, home, CONTROL_BYTES)
 
         acks = [
             self.sim.spawn(
@@ -235,13 +249,13 @@ class MemorySystem:
     def _fetch_from_owner(self, home, line, owner, invalidate):
         """Pull (and optionally invalidate) the dirty copy at ``owner``."""
         self.stats.owner_fetches += 1
-        yield self.network.transfer(home, owner, CONTROL_BYTES)
+        yield self.network.delivery_ns(home, owner, CONTROL_BYTES)
         hierarchy = self.hierarchies[owner]
         if invalidate:
             self._deliver_invalidation(owner, line)
         elif hierarchy.state(line) is LineState.MODIFIED:
             hierarchy.set_state(line, LineState.SHARED)
-        yield self.network.transfer(owner, home, DATA_BYTES)
+        yield self.network.delivery_ns(owner, home, DATA_BYTES)
         directory = self.directories[home]
         if invalidate:
             entry = directory.entry(line)
@@ -272,12 +286,30 @@ class MemorySystem:
                 name="wb[{}]{:#x}".format(node, victim),
             )
 
+    def watch_line(self, line, node):
+        """A controller armed its first monitor for ``line``."""
+        self._monitor_nodes.setdefault(line, set()).add(node)
+
+    def unwatch_line(self, line, node):
+        """A controller's last monitor for ``line`` went away."""
+        nodes = self._monitor_nodes.get(line)
+        if nodes is not None:
+            nodes.discard(node)
+            if not nodes:
+                del self._monitor_nodes[line]
+
     def _fast_mode_notify(self, writer, line):
         """Fast mode: emulate the INV delivery that wakes flag monitors."""
-        for node, controller in enumerate(self.controllers):
-            if controller is None or node == writer:
+        nodes = self._monitor_nodes.get(line)
+        if not nodes:
+            return
+        # Ascending node order matches the legacy all-controller scan,
+        # so notify callbacks land in the queue in the same order.
+        for node in sorted(nodes):
+            if node == writer:
                 continue
-            if controller.monitors_line(line):
-                self.sim.schedule(
-                    FAST_MODE_NOTIFY_NS, controller.notify_invalidation, line
-                )
+            self.sim.schedule(
+                FAST_MODE_NOTIFY_NS,
+                self.controllers[node].notify_invalidation,
+                line,
+            )

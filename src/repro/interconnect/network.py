@@ -60,7 +60,15 @@ class Network:
         # 250 MHz -> 4 ns per router cycle; one flit advances per cycle.
         self.flit_cycle_ns = max(1, int(round(1_000 / config.router_freq_mhz)))
         self._track_links = track_links or config.model_contention
+        self._model_contention = config.model_contention
         self._link_busy_until = {}
+        # Packed (src, dst, size) int key -> (hops, links, uncontended
+        # latency). Pure function of the topology and config, so
+        # memoizing it is safe; the per-message statistics and
+        # contention walk stay live. The packed key (src and dst below
+        # 4096 nodes, size below 8192 bytes) avoids a tuple allocation
+        # per message.
+        self._route_cache = {}
         self.stats = NetworkStats()
 
     def latency_ns(self, src, dst, size_bytes=16):
@@ -111,15 +119,51 @@ class Network:
             raise ConfigError("message size must be positive")
         if src == dst:
             return 0
-        links = (
-            links_used(src, dst, self.topology.dimension)
-            if self._track_links
-            else ()
-        )
-        self.stats.record(self.topology.hops(src, dst), size_bytes, links)
-        if self.config.model_contention:
+        key = ((src << 12) | dst) << 13 | size_bytes
+        route = self._route_cache.get(key)
+        if route is None:
+            links = (
+                links_used(src, dst, self.topology.dimension)
+                if self._track_links
+                else ()
+            )
+            route = (
+                self.topology.hops(src, dst),
+                links,
+                self.latency_ns(src, dst, size_bytes),
+            )
+            self._route_cache[key] = route
+        hops, links, base_latency = route
+        self.stats.record(hops, size_bytes, links)
+        if self._model_contention:
             return self._contended_latency_ns(links, size_bytes)
-        return self.latency_ns(src, dst, size_bytes)
+        return base_latency
+
+    def delivery_ns(self, src, dst, size_bytes=16):
+        """Latency of one concrete message in ns; records statistics.
+
+        Processes that just wait out the wire should ``yield`` this int
+        directly; use :meth:`transfer` only when the delivery must be an
+        :class:`~repro.sim.events.Event` (e.g. raced in an ``AnyOf``).
+        Each call models one message, so call exactly once per message.
+        """
+        # Warm-route fast path with the statistics update unrolled; the
+        # cold path (and all validation) lives in _delivery_latency.
+        route = self._route_cache.get(((src << 12) | dst) << 13 | size_bytes)
+        if route is None:
+            return self._delivery_latency(src, dst, size_bytes)
+        hops, links, base_latency = route
+        stats = self.stats
+        stats.messages += 1
+        stats.total_bytes += size_bytes
+        stats.total_hops += hops
+        if links:
+            link_loads = stats.link_loads
+            for link in links:
+                link_loads[link] += 1
+        if self._model_contention:
+            return self._contended_latency_ns(links, size_bytes)
+        return base_latency
 
     def transfer(self, src, dst, size_bytes=16):
         """An event that succeeds when the message arrives at ``dst``."""

@@ -17,6 +17,7 @@ carries a *refill debt*: the next compute phase is lengthened by the
 compulsory-miss penalty of re-fetching them.
 """
 
+import operator
 from dataclasses import dataclass
 
 from repro.energy.accounting import Category, EnergyAccount
@@ -26,7 +27,7 @@ from repro.telemetry.events import SleepEnter, SleepExit
 from repro.telemetry.tracer import NULL_TRACER
 
 
-@dataclass
+@dataclass(slots=True)
 class SleepOutcome:
     """What happened during one :meth:`Cpu.sleep` call."""
 
@@ -54,6 +55,12 @@ class Cpu:
         self.refill_per_line_ns = refill_per_line_ns
         self.telemetry = telemetry if telemetry is not None else NULL_TRACER
         self.account = EnergyAccount(telemetry=self.telemetry)
+        # The spin-charge constants, pre-resolved: charge_spin runs for
+        # every barrier-internal memory operation, so the account.add
+        # bound method and the (static) spinloop wattage are looked up
+        # once here instead of twice per charge.
+        self._account_add = self.account.add
+        self._spin_watts = power.spin_watts
         self._refill_debt_ns = 0
         self.sleep_outcomes = []
 
@@ -82,7 +89,9 @@ class Cpu:
             raise SimulationError("compute duration must be non-negative")
         duration_ns += self._refill_debt_ns
         self._refill_debt_ns = 0
-        yield self.sim.timeout(duration_ns)
+        # operator.index keeps the legacy timeout() strictness: integer
+        # array scalars pass, floats raise TypeError instead of truncating.
+        yield operator.index(duration_ns)
         self.account.add(
             Category.COMPUTE, duration_ns, power_watts=self.power.compute_watts
         )
@@ -108,20 +117,33 @@ class Cpu:
             if category is Category.SPIN
             else self.power.compute_watts
         )
-        started = self.sim.now
+        started = self.sim._now
         value = yield from transaction
         self.account.add(
-            category, self.sim.now - started, power_watts=watts
+            category, self.sim._now - started, power_watts=watts
         )
         return value
 
+    def charge_spin(self, duration_ns):
+        """Charge an elapsed span to Spin at spinloop power.
+
+        The inline form of :meth:`mem_op_as` for the barrier hot path:
+        callers time the transaction themselves (``started = sim.now``
+        … ``yield from txn`` … ``charge_spin(sim.now - started)``),
+        avoiding the extra generator frame the wrapper would put under
+        every resume of the transaction.
+        """
+        self._account_add(
+            Category.SPIN, duration_ns, power_watts=self._spin_watts
+        )
+
     def spin_until(self, event):
         """Spin-wait on ``event`` at spinloop power; returns spin time."""
-        started = self.sim.now
+        started = self.sim._now
         yield event
-        spun = self.sim.now - started
-        self.account.add(
-            Category.SPIN, spun, power_watts=self.power.spin_watts
+        spun = self.sim._now - started
+        self._account_add(
+            Category.SPIN, spun, power_watts=self._spin_watts
         )
         return spun
 
@@ -129,7 +151,7 @@ class Cpu:
         """Spin for a fixed duration (used by oracle accounting paths)."""
         if duration_ns < 0:
             raise SimulationError("spin duration must be non-negative")
-        yield self.sim.timeout(duration_ns)
+        yield operator.index(duration_ns)
         self.account.add(
             Category.SPIN, duration_ns, power_watts=self.power.spin_watts
         )
@@ -151,7 +173,7 @@ class Cpu:
         flush_lines:
             Extra dirty footprint (workload-model lines) to flush.
         """
-        entered_at = self.sim.now
+        entered_at = self.sim._now
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(SleepEnter(
@@ -166,11 +188,11 @@ class Cpu:
                     "non-snooping state {} requires a cache controller "
                     "to flush".format(state.name)
                 )
-            flush_started = self.sim.now
+            flush_started = self.sim._now
             flushed = yield from controller.flush_dirty(
                 extra_lines=flush_lines
             )
-            flush_ns = self.sim.now - flush_started
+            flush_ns = self.sim._now - flush_started
             # Flush overhead is computation-side work (Section 5.2).
             self.account.add(
                 Category.COMPUTE, flush_ns,
@@ -188,7 +210,7 @@ class Cpu:
             injector.on_sleep_entry(self.node_id, wake_event)
             enter_ns += injector.on_transition(self.node_id, state.name)
         # Transition in: linear ramp from compute power to sleep power.
-        yield self.sim.timeout(enter_ns)
+        yield enter_ns
         self.account.add(
             Category.TRANSITION,
             enter_ns,
@@ -197,9 +219,9 @@ class Cpu:
             ),
         )
         # Residency: wait for the wake signal (may already have fired).
-        resident_started = self.sim.now
+        resident_started = self.sim._now
         yield wake_event
-        resident_ns = self.sim.now - resident_started
+        resident_ns = self.sim._now - resident_started
         self.account.add(
             Category.SLEEP, resident_ns, power_watts=sleep_watts
         )
@@ -207,7 +229,7 @@ class Cpu:
         if injector is not None:
             exit_ns += injector.on_transition(self.node_id, state.name)
         # Transition out: ramp back up.
-        yield self.sim.timeout(exit_ns)
+        yield exit_ns
         self.account.add(
             Category.TRANSITION,
             exit_ns,
@@ -223,12 +245,12 @@ class Cpu:
             flush_ns=flush_ns,
             resident_ns=resident_ns,
             entered_at=entered_at,
-            wake_completed_at=self.sim.now,
+            wake_completed_at=self.sim._now,
         )
         self.sleep_outcomes.append(outcome)
         if telemetry.enabled:
             telemetry.emit(SleepExit(
-                ts=self.sim.now, thread=self.node_id, state=state.name,
+                ts=self.sim._now, thread=self.node_id, state=state.name,
                 entered_ts=entered_at, resident_ns=resident_ns,
                 flush_ns=flush_ns, flushed_lines=flushed,
             ))

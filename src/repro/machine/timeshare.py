@@ -57,7 +57,7 @@ class CpuToken:
             raise SimulationError("token handoff corrupted")
         if self._last_owner is not None and self._last_owner != thread_id:
             self.stats_switches += 1
-            yield self.sim.timeout(self.context_switch_ns)
+            yield self.context_switch_ns
             self.node.cpu.account.add(
                 Category.COMPUTE,
                 self.context_switch_ns,

@@ -9,6 +9,7 @@ controller's flag monitor.
 """
 
 from collections import deque
+import operator
 
 from repro.energy.accounting import Category
 from repro.errors import SimulationError
@@ -123,5 +124,5 @@ def make_endpoints(system, n_ranks=None):
 
 
 def _busy(sim, duration_ns):
-    yield sim.timeout(duration_ns)
+    yield operator.index(duration_ns)
     return None

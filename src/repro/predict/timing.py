@@ -44,7 +44,7 @@ class TimingDomain:
 
     def compute_time(self, thread_id):
         """Compute time of the current interval, measured at arrival."""
-        elapsed = self.sim.now - self._brts[thread_id]
+        elapsed = self.sim._now - self._brts[thread_id]
         if elapsed < 0:
             raise SimulationError("local clock ran backwards")
         return elapsed
@@ -63,12 +63,12 @@ class TimingDomain:
         if predicted_bit is None:
             return None, None
         wake_ts = self._brts[thread_id] + predicted_bit
-        stall = wake_ts - self.sim.now
+        stall = wake_ts - self.sim._now
         return wake_ts, stall
 
     def measure_bit(self, thread_id):
         """The actual BIT, measured by the last thread on arrival."""
-        return self.sim.now - self._brts[thread_id]
+        return self.sim._now - self._brts[thread_id]
 
     def advance(self, thread_id, bit_ns):
         """Advance BRTS after the barrier: ``BRTS[t] += BIT``.
@@ -84,5 +84,5 @@ class TimingDomain:
     def record_observed_release(self, thread_id):
         """Warm-up path: a spinning thread saw the flag flip *now* and
         records its local timestamp directly (Section 3.2.1)."""
-        self._brts[thread_id] = self.sim.now
+        self._brts[thread_id] = self.sim._now
         return self._brts[thread_id]

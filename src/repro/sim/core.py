@@ -1,29 +1,58 @@
 """The event loop at the heart of the simulator.
 
-The :class:`Simulator` owns a priority queue of ``(time, sequence)``-ordered
-callbacks. Everything else in the package — coherence transactions, CPU
-sleep transitions, barrier releases — is expressed as callbacks or as
+The :class:`Simulator` owns a **bucketed calendar queue**: callbacks are
+grouped into per-timestamp buckets (a dict keyed by absolute time), and
+a small heap orders only the *distinct* timestamps. Within a bucket,
+plain list order is execution order — the global schedule-call order the
+legacy single-heap scheduler encoded with ``(time, seq)`` tuples — so
+tie-breaking and cancellation semantics are exactly those of the old
+heap, at a fraction of the cost: the common case (another callback at an
+already-known timestamp, which barrier simultaneity makes the dominant
+pattern) is one dict probe and one list append instead of an O(log n)
+sift, and dequeue is an index increment instead of a heap pop.
+
+Two kinds of entry live in a bucket:
+
+* a :class:`Handle` — the cancellable record returned by
+  :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`;
+* a bare resume callable — the non-cancellable fast lane used by
+  :class:`~repro.sim.process.Process` for plain integer-delay yields
+  (``yield 40``), invoked as ``entry(None, None)``. These cannot be
+  cancelled, so the dispatch loop skips every cancellation check for
+  them.
+
+A bucket holding a single entry is stored as the entry itself rather
+than a one-element list (most timestamps only ever receive one
+callback); it is promoted to a list on the second insertion at the same
+time. Entries are Handles or callables, never lists, so
+``bucket.__class__ is list`` distinguishes the representations.
+
+Everything else in the package — coherence transactions, CPU sleep
+transitions, barrier releases — is expressed as callbacks or as
 generator processes resumed by callbacks.
 """
 
 import heapq
 import inspect
-import itertools
 import operator
 
 from repro.errors import SchedulingError
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 
+#: The argument tuple fast-lane resumes are invoked with (and reported
+#: to trace hooks with): ``resume(None, None)`` means "no value, no
+#: exception" — the contract of ``Process._resume``.
+_FAST_ARGS = (None, None)
+
 
 class Handle:
     """A cancellable reference to one scheduled callback."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled")
 
-    def __init__(self, time, seq, fn, args):
+    def __init__(self, time, fn, args):
         self.time = time
-        self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
@@ -32,12 +61,9 @@ class Handle:
         """Prevent the callback from running; safe to call repeatedly."""
         self.cancelled = True
 
-    def __lt__(self, other):
-        return (self.time, self.seq) < (other.time, other.seq)
-
     def __repr__(self):
         state = "cancelled" if self.cancelled else "armed"
-        return "Handle(t={}, seq={}, {})".format(self.time, self.seq, state)
+        return "Handle(t={}, {})".format(self.time, state)
 
 
 def _trace_accepts_cancelled(trace):
@@ -72,6 +98,8 @@ class Simulator:
         * For a callback that is about to execute, the hook is invoked
           as ``trace(now, fn, args)`` immediately before ``fn(*args)``
           runs, with the clock already advanced to the callback's time.
+          For a fast-lane process resume, ``fn`` is the process's bound
+          resume method and ``args`` is ``(None, None)``.
         * For a callback whose :class:`Handle` was cancelled, the
           dequeue is also reported — as ``trace(time, fn, args,
           cancelled=True)`` — but **only** when the hook's signature
@@ -90,12 +118,22 @@ class Simulator:
     --------
     :attr:`executed` and :attr:`skipped_cancelled` count dequeued
     callbacks over the simulator's lifetime; the telemetry layer
-    harvests them after a run.
+    harvests them after a run. Fast-lane resumes count as executed
+    callbacks exactly like :class:`Handle` callbacks (they occupy one
+    dequeue each), so the counters are invariant under the
+    Timeout-object vs. integer-yield encoding of a delay.
     """
 
     def __init__(self, trace=None):
-        self._queue = []
-        self._seq = itertools.count()
+        # time -> list of entries (Handles and fast-lane resumes) in
+        # schedule order; the heap orders the distinct times only.
+        self._buckets = {}
+        self._times = []
+        # Consumption cursor into the earliest bucket, so a partially
+        # drained bucket survives step()/run() interleaving and
+        # exceptions raised by callbacks.
+        self._head_time = None
+        self._head_index = 0
         self._now = 0
         self._trace = trace
         self._trace_cancelled = (
@@ -118,14 +156,24 @@ class Simulator:
     @property
     def pending(self):
         """Number of scheduled (non-cancelled) callbacks still queued."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        count = 0
+        for time, bucket in self._buckets.items():
+            if bucket.__class__ is not list:
+                if bucket.__class__ is not Handle or not bucket.cancelled:
+                    count += 1
+                continue
+            start = self._head_index if time == self._head_time else 0
+            for entry in bucket[start:]:
+                if entry.__class__ is not Handle or not entry.cancelled:
+                    count += 1
+        return count
 
     def schedule(self, delay, fn, *args):
         """Run ``fn(*args)`` after ``delay`` ns; returns a :class:`Handle`."""
         delay = operator.index(delay)
         if delay < 0:
             raise SchedulingError("cannot schedule in the past: {}".format(delay))
-        return self.schedule_at(self._now + delay, fn, *args)
+        return self._insert(self._now + delay, Handle(self._now + delay, fn, args))
 
     def schedule_at(self, time, fn, *args):
         """Run ``fn(*args)`` at absolute time ``time``."""
@@ -134,9 +182,39 @@ class Simulator:
             raise SchedulingError(
                 "cannot schedule at {} before now {}".format(time, self._now)
             )
-        handle = Handle(time, next(self._seq), fn, args)
-        heapq.heappush(self._queue, handle)
-        return handle
+        return self._insert(time, Handle(time, fn, args))
+
+    def _insert(self, time, entry):
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = entry
+            heapq.heappush(self._times, time)
+        elif bucket.__class__ is list:
+            bucket.append(entry)
+        else:
+            buckets[time] = [bucket, entry]
+        return entry
+
+    def _schedule_fast(self, delay, resume):
+        """Fast lane for process resumes: non-cancellable, no Handle.
+
+        ``delay`` must be a validated non-negative int; ``resume`` is
+        invoked as ``resume(None, None)`` at the deadline. Consumes one
+        dequeue slot in exactly the position a ``schedule()`` call here
+        would, so fast-lane and Handle scheduling interleave with
+        identical ordering.
+        """
+        time = self._now + delay
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = resume
+            heapq.heappush(self._times, time)
+        elif bucket.__class__ is list:
+            bucket.append(resume)
+        else:
+            buckets[time] = [bucket, resume]
 
     def event(self):
         """Create a fresh, untriggered :class:`Event` bound to this simulator."""
@@ -156,19 +234,67 @@ class Simulator:
         if self._trace_cancelled:
             self._trace(handle.time, handle.fn, handle.args, cancelled=True)
 
+    def _open_bucket(self):
+        """Cursor into the earliest bucket: ``(time, bucket, index)``."""
+        time = self._times[0]
+        if time != self._head_time:
+            self._head_time = time
+            self._head_index = 0
+        return time, self._buckets[time], self._head_index
+
+    def _close_bucket(self, time):
+        """Drop an exhausted bucket and its heap entry."""
+        del self._buckets[time]
+        heapq.heappop(self._times)
+        self._head_time = None
+        self._head_index = 0
+
     def step(self):
         """Run the single earliest callback; returns False if queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                self._skip_cancelled(handle)
-                continue
-            self._now = handle.time
-            if self._trace is not None:
-                self._trace(self._now, handle.fn, handle.args)
-            handle.fn(*handle.args)
-            self.executed += 1
-            return True
+        while self._times:
+            time = self._times[0]
+            bucket = self._buckets[time]
+            if bucket.__class__ is not list:
+                # Singleton bucket: consume it before executing, exactly
+                # as a heap pop would.
+                del self._buckets[time]
+                heapq.heappop(self._times)
+                if bucket.__class__ is Handle:
+                    if bucket.cancelled:
+                        self._skip_cancelled(bucket)
+                        continue
+                    self._now = time
+                    if self._trace is not None:
+                        self._trace(time, bucket.fn, bucket.args)
+                    bucket.fn(*bucket.args)
+                else:
+                    self._now = time
+                    if self._trace is not None:
+                        self._trace(time, bucket, _FAST_ARGS)
+                    bucket(None, None)
+                self.executed += 1
+                return True
+            time, bucket, i = self._open_bucket()
+            while i < len(bucket):
+                entry = bucket[i]
+                i += 1
+                self._head_index = i
+                if entry.__class__ is Handle:
+                    if entry.cancelled:
+                        self._skip_cancelled(entry)
+                        continue
+                    self._now = time
+                    if self._trace is not None:
+                        self._trace(time, entry.fn, entry.args)
+                    entry.fn(*entry.args)
+                else:
+                    self._now = time
+                    if self._trace is not None:
+                        self._trace(time, entry, _FAST_ARGS)
+                    entry(None, None)
+                self.executed += 1
+                return True
+            self._close_bucket(time)
         return False
 
     def run(self, until=None, max_events=None):
@@ -185,25 +311,236 @@ class Simulator:
         """
         if self._running:
             raise SchedulingError("run() called re-entrantly")
+        if until is not None:
+            until = operator.index(until)
         self._running = True
         executed = 0
+        # Local aliases keep the dispatch loop free of repeated
+        # attribute loads; the trace check below costs one local-load
+        # branch per callback on the tracer-disabled path. Bucket
+        # open/close is inlined (vs the step() helpers) for the same
+        # reason — nearly every callback sits in its own bucket.
+        buckets = self._buckets
+        times = self._times
+        trace = self._trace
+        trace_cancelled = self._trace_cancelled
+        pop_time = heapq.heappop
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
-                    self._skip_cancelled(heapq.heappop(self._queue))
+            if trace is None and max_events is None and until is None:
+                # Hottest lane: full drain (no tracing, no budget, no
+                # horizon) — the campaign runner's main loop. Same
+                # dispatch as below with every per-callback check gone.
+                while times:
+                    time = times[0]
+                    bucket = buckets[time]
+                    if bucket.__class__ is not list:
+                        del buckets[time]
+                        pop_time(times)
+                        if bucket.__class__ is Handle:
+                            if bucket.cancelled:
+                                self.skipped_cancelled += 1
+                                continue
+                            self._now = time
+                            bucket.fn(*bucket.args)
+                        else:
+                            self._now = time
+                            bucket(None, None)
+                        executed += 1
+                        continue
+                    if time != self._head_time:
+                        self._head_time = time
+                        self._head_index = 0
+                    i = self._head_index
+                    while i < len(bucket):
+                        entry = bucket[i]
+                        i += 1
+                        self._head_index = i
+                        if entry.__class__ is Handle:
+                            if entry.cancelled:
+                                self.skipped_cancelled += 1
+                                continue
+                            self._now = time
+                            entry.fn(*entry.args)
+                        else:
+                            self._now = time
+                            entry(None, None)
+                        executed += 1
+                    del buckets[time]
+                    pop_time(times)
+                    self._head_time = None
+                    self._head_index = 0
+                return
+            if trace is None and max_events is None:
+                # Production fast lane (no tracing, no event budget):
+                # the same dispatch with the per-callback trace and
+                # budget checks removed. Kept in lockstep with the
+                # general loop below.
+                while times:
+                    time = times[0]
+                    bucket = buckets[time]
+                    if bucket.__class__ is not list:
+                        if until is not None and time > until:
+                            if (
+                                bucket.__class__ is Handle
+                                and bucket.cancelled
+                            ):
+                                del buckets[time]
+                                pop_time(times)
+                                self.skipped_cancelled += 1
+                                continue
+                            if until > self._now:
+                                self._now = until
+                            return
+                        del buckets[time]
+                        pop_time(times)
+                        if bucket.__class__ is Handle:
+                            if bucket.cancelled:
+                                self.skipped_cancelled += 1
+                                continue
+                            self._now = time
+                            bucket.fn(*bucket.args)
+                        else:
+                            self._now = time
+                            bucket(None, None)
+                        executed += 1
+                        continue
+                    if time != self._head_time:
+                        self._head_time = time
+                        self._head_index = 0
+                    i = self._head_index
+                    if until is not None and time > until:
+                        if not self._drain_cancelled_head(time, bucket, i):
+                            continue
+                        if until > self._now:
+                            self._now = until
+                        return
+                    while i < len(bucket):
+                        entry = bucket[i]
+                        i += 1
+                        self._head_index = i
+                        if entry.__class__ is Handle:
+                            if entry.cancelled:
+                                self.skipped_cancelled += 1
+                                continue
+                            self._now = time
+                            entry.fn(*entry.args)
+                        else:
+                            self._now = time
+                            entry(None, None)
+                        executed += 1
+                    del buckets[time]
+                    pop_time(times)
+                    self._head_time = None
+                    self._head_index = 0
+                if until is not None and until > self._now:
+                    self._now = until
+                return
+            while times:
+                time = times[0]
+                bucket = buckets[time]
+                if bucket.__class__ is not list:
+                    # Singleton bucket — the overwhelmingly common case.
+                    if until is not None and time > until:
+                        if bucket.__class__ is Handle and bucket.cancelled:
+                            del buckets[time]
+                            pop_time(times)
+                            self.skipped_cancelled += 1
+                            if trace_cancelled:
+                                trace(
+                                    time, bucket.fn, bucket.args,
+                                    cancelled=True,
+                                )
+                            continue
+                        if until > self._now:
+                            self._now = until
+                        return
+                    del buckets[time]
+                    pop_time(times)
+                    if bucket.__class__ is Handle:
+                        if bucket.cancelled:
+                            self.skipped_cancelled += 1
+                            if trace_cancelled:
+                                trace(
+                                    time, bucket.fn, bucket.args,
+                                    cancelled=True,
+                                )
+                            continue
+                        self._now = time
+                        if trace is not None:
+                            trace(time, bucket.fn, bucket.args)
+                        bucket.fn(*bucket.args)
+                    else:
+                        self._now = time
+                        if trace is not None:
+                            trace(time, bucket, _FAST_ARGS)
+                        bucket(None, None)
+                    executed += 1
+                    if max_events is not None and executed > max_events:
+                        raise SchedulingError(
+                            "exceeded max_events={}".format(max_events)
+                        )
                     continue
-                if until is not None and head.time > until:
-                    self._now = max(self._now, operator.index(until))
+                if time != self._head_time:
+                    self._head_time = time
+                    self._head_index = 0
+                i = self._head_index
+                if until is not None and time > until:
+                    if not self._drain_cancelled_head(time, bucket, i):
+                        continue
+                    if until > self._now:
+                        self._now = until
                     return
-                if not self.step():
-                    break
-                executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SchedulingError(
-                        "exceeded max_events={}".format(max_events)
-                    )
-            if until is not None:
-                self._now = max(self._now, operator.index(until))
+                while i < len(bucket):
+                    entry = bucket[i]
+                    i += 1
+                    self._head_index = i
+                    if entry.__class__ is Handle:
+                        if entry.cancelled:
+                            self.skipped_cancelled += 1
+                            if trace_cancelled:
+                                trace(
+                                    time, entry.fn, entry.args,
+                                    cancelled=True,
+                                )
+                            continue
+                        self._now = time
+                        if trace is not None:
+                            trace(time, entry.fn, entry.args)
+                        entry.fn(*entry.args)
+                    else:
+                        self._now = time
+                        if trace is not None:
+                            trace(time, entry, _FAST_ARGS)
+                        entry(None, None)
+                    executed += 1
+                    if max_events is not None and executed > max_events:
+                        raise SchedulingError(
+                            "exceeded max_events={}".format(max_events)
+                        )
+                del buckets[time]
+                pop_time(times)
+                self._head_time = None
+                self._head_index = 0
+            if until is not None and until > self._now:
+                self._now = until
         finally:
+            self.executed += executed
             self._running = False
+
+    def _drain_cancelled_head(self, time, bucket, i):
+        """Consume cancelled entries at the head of a beyond-horizon bucket.
+
+        The legacy heap dequeued (and counted) cancelled callbacks even
+        past ``until`` as long as they were at the head; this preserves
+        that accounting. Returns True when a live callback was reached
+        (the caller must stop), False when the bucket was exhausted.
+        """
+        while i < len(bucket):
+            entry = bucket[i]
+            if entry.__class__ is not Handle or not entry.cancelled:
+                return True
+            i += 1
+            self._head_index = i
+            self._skip_cancelled(entry)
+        self._close_bucket(time)
+        return False

@@ -17,6 +17,8 @@ class Event:
     of the trigger; callbacks added after run immediately.
     """
 
+    __slots__ = ("sim", "_value", "_exception", "_callbacks")
+
     def __init__(self, sim):
         self.sim = sim
         self._value = _PENDING
@@ -49,10 +51,14 @@ class Event:
 
     def succeed(self, value=None):
         """Trigger the event successfully, running callbacks now."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SchedulingError("event triggered twice")
         self._value = value
-        self._dispatch()
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for fn in callbacks:
+                fn(self)
         return self
 
     def fail(self, exception):
@@ -89,6 +95,8 @@ class Event:
 class Timeout(Event):
     """An event that succeeds automatically after a fixed delay."""
 
+    __slots__ = ("delay", "_handle")
+
     def __init__(self, sim, delay, value=None):
         super().__init__(sim)
         self.delay = delay
@@ -110,6 +118,8 @@ class AnyOf(Event):
     branch won — e.g. internal-timer wake-up vs. external invalidation.
     A failed child fails the composite.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self, sim, events):
         super().__init__(sim)
@@ -134,6 +144,8 @@ class AllOf(Event):
     The value is the list of child values in construction order. The first
     child failure fails the composite immediately.
     """
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim, events):
         super().__init__(sim)

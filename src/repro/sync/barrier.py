@@ -5,7 +5,6 @@ shares: the check-in critical section, the coherence-driven flag spin,
 trace instrumentation, and the BRTS bookkeeping hooks.
 """
 
-from repro.energy.accounting import Category
 from repro.errors import SimulationError
 from repro.sync.trace import BarrierTrace
 from repro.telemetry.events import (
@@ -84,17 +83,18 @@ class BarrierBase:
         record = self.trace.current(self.pc)
         if record is None:
             record = self.trace.open_instance(self.pc)
-        record.arrivals.setdefault(thread_id, self.sim.now)
-        count = yield from node.cpu.mem_op_as(
-            Category.SPIN,
-            self.memsys.rmw(node.node_id, self.count_addr, lambda v: v + 1),
+        record.arrivals.setdefault(thread_id, self.sim._now)
+        cpu = node.cpu
+        started = self.sim._now
+        count = yield from self.memsys.rmw(
+            node.node_id, self.count_addr, lambda v: v + 1
         )
+        cpu.charge_spin(self.sim._now - started)
         is_last = (count + 1) == self.n_threads
         if is_last:
-            yield from node.cpu.mem_op_as(
-                Category.SPIN,
-                self.memsys.store(node.node_id, self.count_addr, 0),
-            )
+            started = self.sim._now
+            yield from self.memsys.store(node.node_id, self.count_addr, 0)
+            cpu.charge_spin(self.sim._now - started)
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(BarrierCheckIn(
@@ -109,7 +109,7 @@ class BarrierBase:
         The flag write's invalidations are the external wake-up signal
         of Section 3.3.1.
         """
-        record.release_ts = self.sim.now
+        record.release_ts = self.sim._now
         record.last_thread = node.node_id if thread_id is None else thread_id
         self.domain.instances_released += 1
         telemetry = self.telemetry
@@ -119,10 +119,9 @@ class BarrierBase:
                 pc=self.pc, sequence=record.sequence,
                 bit_ns=record.measured_bit,
             ))
-        yield from node.cpu.mem_op_as(
-            Category.SPIN,
-            self.memsys.store(node.node_id, self.flag_addr, sense),
-        )
+        started = self.sim._now
+        yield from self.memsys.store(node.node_id, self.flag_addr, sense)
+        node.cpu.charge_spin(self.sim._now - started)
         self.trace.close_instance(self.pc)
 
     def _spin_on_flag(self, node, sense):
@@ -136,12 +135,11 @@ class BarrierBase:
         """
         cpu = node.cpu
         controller = node.controller
-        started = self.sim.now
+        started = self.sim._now
         while True:
-            value = yield from cpu.mem_op_as(
-                Category.SPIN,
-                self.memsys.load(node.node_id, self.flag_addr),
-            )
+            load_started = self.sim._now
+            value = yield from self.memsys.load(node.node_id, self.flag_addr)
+            cpu.charge_spin(self.sim._now - load_started)
             if value == sense:
                 break
             fired = self.sim.event()
@@ -160,8 +158,10 @@ class BarrierBase:
             if self._monitor_raced(node, sense):
                 controller.disarm_flag_monitor(key, on_invalidation)
                 continue
-            yield from cpu.spin_until(fired)
-        return self.sim.now - started
+            wait_started = self.sim._now
+            yield fired
+            cpu.charge_spin(self.sim._now - wait_started)
+        return self.sim._now - started
 
     def _monitor_raced(self, node, sense):
         """True when an armed monitor cannot be trusted: the flag has
@@ -180,12 +180,12 @@ class BarrierBase:
 
     def _depart(self, node, record, thread_id=None):
         thread_id = node.node_id if thread_id is None else thread_id
-        record.departures[thread_id] = self.sim.now
+        record.departures[thread_id] = self.sim._now
         telemetry = self.telemetry
         if telemetry.enabled:
-            arrived = record.arrivals.get(thread_id, self.sim.now)
+            arrived = record.arrivals.get(thread_id, self.sim._now)
             telemetry.emit(BarrierDepart(
-                ts=self.sim.now, thread=thread_id, pc=self.pc,
+                ts=self.sim._now, thread=thread_id, pc=self.pc,
                 sequence=record.sequence, arrived_ts=arrived,
                 stall_ns=record.stall_ns(thread_id) or 0,
             ))
@@ -214,12 +214,11 @@ class ConventionalBarrier(BarrierBase):
             record.measured_bit = bit
             # Publish the BIT for the benefit of any thrifty barrier
             # sharing the domain, then release.
-            yield from node.cpu.mem_op_as(
-                Category.SPIN,
-                self.memsys.store(
-                    node.node_id, self.domain.bit_addr, bit
-                ),
+            started = self.sim._now
+            yield from self.memsys.store(
+                node.node_id, self.domain.bit_addr, bit
             )
+            node.cpu.charge_spin(self.sim._now - started)
             yield from self._release(node, sense, record)
             self.domain.record_observed_release(thread_id)
         else:

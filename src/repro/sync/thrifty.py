@@ -30,8 +30,8 @@ fidelity), and releases the barrier.
 from dataclasses import dataclass, field
 
 from repro.config import ThriftyConfig
-from repro.energy.accounting import Category
 from repro.energy.states import select_sleep_state
+from repro.errors import ConfigError
 from repro.predict.thresholds import is_overpredicted, should_update_predictor
 from repro.sim.events import AnyOf
 from repro.sync.barrier import BarrierBase
@@ -87,6 +87,9 @@ class ThriftyBarrier(BarrierBase):
         super().__init__(system, domain, n_threads, pc, trace=trace)
         self.config = config or ThriftyConfig()
         self.stats = ThriftyStats()
+        # flush_ns -> ((cost, state), ...) deepest-savings first; see
+        # _choose_state.
+        self._selection_cache = {}
 
     # -- the sleep() "library call" of Section 3.1 --------------------------
 
@@ -95,12 +98,39 @@ class ThriftyBarrier(BarrierBase):
         return machine.flush_base_ns + dirty_lines * machine.flush_per_line_ns
 
     def _choose_state(self, est_stall_ns, dirty_lines):
-        return select_sleep_state(
-            self.config.sleep_states,
-            est_stall_ns,
-            flush_ns=self._flush_estimate_ns(dirty_lines),
-            conditional=self.config.conditional_sleep,
-        )
+        flush_ns = self._flush_estimate_ns(dirty_lines)
+        if not self.config.conditional_sleep:
+            return select_sleep_state(
+                self.config.sleep_states, est_stall_ns,
+                flush_ns=flush_ns, conditional=False,
+            )
+        # The state menu and flush cost are fixed per dirty footprint,
+        # so the table scan of select_sleep_state collapses to a
+        # precomputed (cost, state) list ordered by descending savings:
+        # the first affordable entry is the answer. Ties keep the
+        # table's scan order (sorted() is stable), matching the
+        # strictly-greater comparison of the reference scan.
+        table = self._selection_cache.get(flush_ns)
+        if table is None:
+            if not list(self.config.sleep_states):
+                raise ConfigError("no sleep states supplied")
+            table = tuple(sorted(
+                (
+                    (
+                        state.round_trip_ns
+                        + (0 if state.snoops else flush_ns),
+                        state,
+                    )
+                    for state in self.config.sleep_states
+                ),
+                key=lambda pair: pair[1].power_savings,
+                reverse=True,
+            ))
+            self._selection_cache[flush_ns] = table
+        for cost, state in table:
+            if cost <= est_stall_ns:
+                return state
+        return None
 
     def _sleep(self, node, sense, state, est_wake_ts, dirty_lines, record):
         """Program the controller and sleep; returns the wake timestamp
@@ -111,10 +141,9 @@ class ThriftyBarrier(BarrierBase):
         # The controller reads the flag in: this both checks the value
         # (abort if already flipped) and installs the shared copy whose
         # invalidation will wake us.
-        value = yield from cpu.mem_op_as(
-            Category.SPIN,
-            self.memsys.load(node.node_id, self.flag_addr),
-        )
+        started = self.sim._now
+        value = yield from self.memsys.load(node.node_id, self.flag_addr)
+        cpu.charge_spin(self.sim._now - started)
         if value == sense:
             self.stats.aborted_sleeps += 1
             return None
@@ -146,7 +175,7 @@ class ThriftyBarrier(BarrierBase):
             # Anticipate the release: count down to the predicted wake
             # time minus the exit latency (Section 3.3.2).
             delay = max(
-                0, est_wake_ts - self.sim.now - state.transition_latency_ns
+                0, est_wake_ts - self.sim._now - state.transition_latency_ns
             )
             timer = self.sim.event()
             timer_handle = controller.arm_wake_timer(delay, timer.succeed)
@@ -183,7 +212,7 @@ class ThriftyBarrier(BarrierBase):
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(WakeUp(
-                ts=self.sim.now, thread=node.node_id, pc=self.pc,
+                ts=self.sim._now, thread=node.node_id, pc=self.pc,
                 source=woke_by, state=state.name,
             ))
         record.sleeps[node.node_id] = SleepRecord(
@@ -192,7 +221,7 @@ class ThriftyBarrier(BarrierBase):
             flushed_lines=outcome.flushed_lines,
             woke_by=woke_by,
         )
-        return self.sim.now
+        return self.sim._now
 
     # -- degraded mode: spin-then-sleep for a disabled (thread, PC) ----------
 
@@ -211,10 +240,9 @@ class ThriftyBarrier(BarrierBase):
         policy of Section 5.1, instead of baseline spinning."""
         cpu = node.cpu
         controller = node.controller
-        value = yield from cpu.mem_op_as(
-            Category.SPIN,
-            self.memsys.load(node.node_id, self.flag_addr),
-        )
+        started = self.sim._now
+        value = yield from self.memsys.load(node.node_id, self.flag_addr)
+        cpu.charge_spin(self.sim._now - started)
         if value == sense:
             return
         fired = self.sim.event()
@@ -229,13 +257,17 @@ class ThriftyBarrier(BarrierBase):
             return
         deadline = self.sim.timeout(self.config.fallback_spin_threshold_ns)
         race = AnyOf(self.sim, [fired, deadline])
-        yield from cpu.spin_until(race)
+        started = self.sim._now
+        yield race
+        cpu.charge_spin(self.sim._now - started)
         if race.value is fired:
             return  # released (or spuriously woken) during the spin
         state = self._fallback_state()
         if state is None:
             # Nothing snooping to halt in; finish the wait spinning.
-            yield from cpu.spin_until(fired)
+            started = self.sim._now
+            yield fired
+            cpu.charge_spin(self.sim._now - started)
             return
         outcome = yield from cpu.sleep(state, fired)
         woke_by = "invalidation"
@@ -246,7 +278,7 @@ class ThriftyBarrier(BarrierBase):
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.emit(WakeUp(
-                ts=self.sim.now, thread=node.node_id, pc=self.pc,
+                ts=self.sim._now, thread=node.node_id, pc=self.pc,
                 source=woke_by, state=state.name,
             ))
         record.sleeps[node.node_id] = SleepRecord(
@@ -268,15 +300,14 @@ class ThriftyBarrier(BarrierBase):
             self._depart(node, record)
             return record
         # Predict the stall ahead (Section 3.2.1). The table walk and
-        # arithmetic cost a few tens of cycles.
-        yield from node.cpu.mem_op_as(
-            Category.SPIN, _overhead(self.sim, PREDICTION_OVERHEAD_NS)
-        )
+        # arithmetic cost a few tens of cycles, charged as Spin.
+        yield PREDICTION_OVERHEAD_NS
+        node.cpu.charge_spin(PREDICTION_OVERHEAD_NS)
         est_wake_ts, est_stall = self.domain.estimate(self.pc, thread_id)
         telemetry = self.telemetry
         if telemetry.enabled and est_stall is not None:
             telemetry.emit(PredictorHit(
-                ts=self.sim.now, thread=thread_id, pc=self.pc,
+                ts=self.sim._now, thread=thread_id, pc=self.pc,
                 predicted_ns=est_wake_ts - self.domain.brts(thread_id),
                 est_stall_ns=est_stall,
             ))
@@ -314,9 +345,8 @@ class ThriftyBarrier(BarrierBase):
         # overlaps it with post-barrier computation — so only its issue
         # cost is charged.
         bit = self.memsys.peek(self.domain.bit_addr)
-        yield from node.cpu.mem_op_as(
-            Category.SPIN, _overhead(self.sim, BIT_READ_OVERHEAD_NS)
-        )
+        yield BIT_READ_OVERHEAD_NS
+        node.cpu.charge_spin(BIT_READ_OVERHEAD_NS)
         release_ts = self.domain.advance(thread_id, bit)
         if wake_ts is not None:
             penalty = wake_ts - release_ts
@@ -325,7 +355,7 @@ class ThriftyBarrier(BarrierBase):
                 sleep_record.penalty_ns = max(0, penalty)
             if telemetry.enabled:
                 telemetry.emit(LateWake(
-                    ts=self.sim.now, thread=thread_id, pc=self.pc,
+                    ts=self.sim._now, thread=thread_id, pc=self.pc,
                     penalty_ns=max(0, penalty),
                 ))
             if is_overpredicted(
@@ -336,7 +366,7 @@ class ThriftyBarrier(BarrierBase):
                 self.stats.cutoff_disables += 1
                 if telemetry.enabled:
                     telemetry.emit(PredictorDisable(
-                        ts=self.sim.now, thread=thread_id, pc=self.pc,
+                        ts=self.sim._now, thread=thread_id, pc=self.pc,
                     ))
         if was_disabled and self.domain.predictor.note_safe_episode(
             self.pc, thread_id, self.config.probation_episodes
@@ -344,7 +374,7 @@ class ThriftyBarrier(BarrierBase):
             self.stats.probation_reenables += 1
             if telemetry.enabled:
                 telemetry.emit(PredictorReenable(
-                    ts=self.sim.now, thread=thread_id, pc=self.pc,
+                    ts=self.sim._now, thread=thread_id, pc=self.pc,
                 ))
         self._depart(node, record)
         return record
@@ -365,7 +395,7 @@ class ThriftyBarrier(BarrierBase):
                 predictor.update(self.pc, bit)
                 if telemetry.enabled:
                     telemetry.emit(PredictorTrain(
-                        ts=self.sim.now, thread=thread_id, pc=self.pc,
+                        ts=self.sim._now, thread=thread_id, pc=self.pc,
                         bit_ns=bit, predicted_ns=previous,
                     ))
             else:
@@ -373,21 +403,16 @@ class ThriftyBarrier(BarrierBase):
                 self.stats.filtered_updates += 1
                 if telemetry.enabled:
                     telemetry.emit(PredictorFiltered(
-                        ts=self.sim.now, thread=thread_id, pc=self.pc,
+                        ts=self.sim._now, thread=thread_id, pc=self.pc,
                         bit_ns=bit,
                     ))
         # Publish the BIT; a write fence orders it before the flag flip
         # under release consistency (footnote 1 of the paper). The
         # simulator's in-order per-thread execution provides the fence.
-        yield from node.cpu.mem_op_as(
-            Category.SPIN,
-            self.memsys.store(node.node_id, self.domain.bit_addr, bit),
+        started = self.sim._now
+        yield from self.memsys.store(
+            node.node_id, self.domain.bit_addr, bit
         )
+        node.cpu.charge_spin(self.sim._now - started)
         yield from self._release(node, sense, record)
         self.domain.advance(thread_id, bit)
-
-
-def _overhead(sim, duration_ns):
-    """A fixed-cost pseudo-transaction (prediction code, table walks)."""
-    yield sim.timeout(duration_ns)
-    return None

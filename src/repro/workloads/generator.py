@@ -10,8 +10,8 @@ else stays identical.
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.energy.accounting import EnergyAccount
-from repro.errors import WorkloadError
+from repro.energy.accounting import Category, EnergyAccount
+from repro.errors import SimulationError, WorkloadError
 from repro.machine import System
 from repro.predict import LastValuePredictor, TimingDomain
 from repro.sync import BarrierTrace, ConventionalBarrier
@@ -101,16 +101,39 @@ class WorkloadRunner:
         instances = self.model.generate(self.n_threads, seed=self.seed)
         if self.perturb is not None:
             instances = self.perturb(instances)
+        # Batch the schedule once, outside the event loop: resolve each
+        # instance's barrier and convert the numpy duration vector to a
+        # plain int list, so the per-thread generators do no numpy
+        # scalar boxing or dict lookups between yields.
+        plan = []
+        for instance in instances:
+            durations = [int(d) for d in instance.durations]
+            for duration in durations:
+                if duration < 0:
+                    raise SimulationError(
+                        "compute duration must be non-negative"
+                    )
+            plan.append((
+                self.barriers[instance.pc].wait,
+                instance.dirty_lines,
+                durations,
+            ))
 
         def program(node):
             thread_id = node.node_id
-            for instance in instances:
-                yield from node.cpu.compute(
-                    int(instance.durations[thread_id])
+            cpu = node.cpu
+            account_add = cpu.account.add
+            compute_watts = cpu.power.compute_watts
+            for barrier_wait, dirty_lines, durations in plan:
+                # Inlined Cpu.compute(): pay any refill debt, run the
+                # phase, charge it — without a generator frame per phase.
+                duration = durations[thread_id] + cpu._refill_debt_ns
+                cpu._refill_debt_ns = 0
+                yield duration
+                account_add(
+                    Category.COMPUTE, duration, power_watts=compute_watts
                 )
-                yield from self.barriers[instance.pc].wait(
-                    node, dirty_lines=instance.dirty_lines
-                )
+                yield from barrier_wait(node, dirty_lines=dirty_lines)
 
         self.system.run_threads(program, n_threads=self.n_threads)
         accounts = self.system.cpu_accounts()[: self.n_threads]

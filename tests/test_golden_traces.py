@@ -1,0 +1,167 @@
+"""Golden-trace determinism corpus for the simulator core.
+
+The corpus pins the *observable behaviour* of the discrete-event core:
+for a fixed matrix of cells (all five paper configurations x three
+seeds x two node counts) it records SHA-256 digests of
+
+* the full typed telemetry event stream (emission order included),
+* the metrics-registry snapshot (counters, gauges, histograms), and
+* the result fields (execution time, energy/time breakdowns, thrifty
+  stats, oracle metadata, barrier imbalance)
+
+as produced by the simulator. The digests in ``tests/golden/corpus.json``
+were recorded against the pre-rewrite (seed) core; any scheduler or
+event-machinery change must reproduce them byte-for-byte, which is the
+contract that let the calendar-queue rewrite land without perturbing a
+single published figure.
+
+Re-recording (only legitimate after an *intentional* behaviour change,
+e.g. a new telemetry event type) is explicit::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --update
+
+and the resulting diff of ``corpus.json`` must be reviewed cell by cell.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments.configs import CONFIG_NAMES
+from repro.experiments.runner import run_experiment
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+CORPUS_PATH = os.path.join(GOLDEN_DIR, "corpus.json")
+
+#: The fixed corpus matrix: every paper configuration, three seeds, two
+#: machine sizes. Small node counts keep the 30 cells fast enough for
+#: tier-1 while still exercising check-in contention, hybrid wake-up
+#: races, flushes, and the derived-oracle replay paths.
+CORPUS_APP = "fmm"
+CORPUS_SEEDS = (1, 2, 3)
+CORPUS_THREADS = (8, 16)
+
+
+def corpus_cells():
+    """The 30 (config, seed, threads) cells, in stable order."""
+    return [
+        (config, seed, threads)
+        for config in CONFIG_NAMES
+        for seed in CORPUS_SEEDS
+        for threads in CORPUS_THREADS
+    ]
+
+
+def cell_key(config, seed, threads):
+    return "{}/{}/seed{}/n{}".format(CORPUS_APP, config, seed, threads)
+
+
+def _sha256(text):
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def compute_digests(config, seed, threads):
+    """Run one corpus cell and digest its observable behaviour."""
+    result = run_experiment(
+        CORPUS_APP,
+        config,
+        threads=threads,
+        seed=seed,
+        machine_config=MachineConfig(n_nodes=threads),
+        telemetry=True,
+    )
+    snapshot = result.telemetry
+    events_text = "\n".join(repr(event) for event in snapshot.events)
+    metrics_text = json.dumps(snapshot.metrics, sort_keys=True)
+    result_text = json.dumps(
+        {
+            "app": result.app,
+            "config": result.config,
+            "n_threads": result.n_threads,
+            "execution_time_ns": result.execution_time_ns,
+            "barrier_imbalance": result.barrier_imbalance,
+            "energy_breakdown": result.energy_breakdown(),
+            "time_breakdown": result.time_breakdown(),
+            "thrifty_stats": result.thrifty_stats,
+            "oracle_meta": result.oracle_meta,
+        },
+        sort_keys=True,
+    )
+    return {
+        "events": _sha256(events_text),
+        "metrics": _sha256(metrics_text),
+        "result": _sha256(result_text),
+    }
+
+
+def load_corpus():
+    with open(CORPUS_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    if not os.path.exists(CORPUS_PATH):
+        pytest.fail(
+            "golden corpus missing; record it with "
+            "`PYTHONPATH=src python tests/test_golden_traces.py --update`"
+        )
+    return load_corpus()
+
+
+def test_corpus_covers_full_matrix(corpus):
+    expected = {cell_key(*cell) for cell in corpus_cells()}
+    assert set(corpus["cells"]) == expected
+    assert len(corpus["cells"]) == 30
+
+
+@pytest.mark.parametrize(
+    "config,seed,threads",
+    corpus_cells(),
+    ids=[cell_key(*cell) for cell in corpus_cells()],
+)
+def test_cell_reproduces_golden_digests(corpus, config, seed, threads):
+    recorded = corpus["cells"][cell_key(config, seed, threads)]
+    fresh = compute_digests(config, seed, threads)
+    assert fresh == recorded, (
+        "simulator behaviour diverged from the golden corpus for "
+        "{}; if (and only if) this change is intentional, re-record "
+        "with `PYTHONPATH=src python tests/test_golden_traces.py "
+        "--update` and review the corpus diff".format(
+            cell_key(config, seed, threads)
+        )
+    )
+
+
+def record_corpus():
+    """Re-record every cell digest (the --update path)."""
+    cells = {}
+    for config, seed, threads in corpus_cells():
+        key = cell_key(config, seed, threads)
+        cells[key] = compute_digests(config, seed, threads)
+        print("recorded", key)
+    corpus = {
+        "app": CORPUS_APP,
+        "seeds": list(CORPUS_SEEDS),
+        "threads": list(CORPUS_THREADS),
+        "configs": list(CONFIG_NAMES),
+        "cells": cells,
+    }
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    with open(CORPUS_PATH, "w") as fh:
+        json.dump(corpus, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote", CORPUS_PATH, "({} cells)".format(len(cells)))
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--update" in sys.argv:
+        record_corpus()
+    else:
+        print(__doc__)
+        sys.exit(2)

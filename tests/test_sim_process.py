@@ -132,7 +132,71 @@ def test_yielding_non_event_fails_process():
     sim = Simulator()
 
     def worker():
-        yield 12345
+        yield "not an event"
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert not proc.ok
+    with pytest.raises(ProcessError):
+        _ = proc.value
+
+
+def test_yielding_int_waits_that_many_ns():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(sim.now)
+        got = yield 10
+        trace.append((sim.now, got))
+        yield 0  # zero-delay resume stays at the current time
+        trace.append(sim.now)
+
+    sim.spawn(worker())
+    sim.run()
+    # Integer delays resume with None, mirroring a value-less Timeout.
+    assert trace == [0, (10, None), 10]
+
+
+def test_int_and_timeout_yields_interleave_identically():
+    sim = Simulator()
+    order = []
+
+    def via_int(tag):
+        yield 5
+        order.append(tag)
+
+    def via_timeout(tag):
+        yield sim.timeout(5)
+        order.append(tag)
+
+    sim.spawn(via_int("a"))
+    sim.spawn(via_timeout("b"))
+    sim.spawn(via_int("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_yielding_negative_int_fails_process():
+    sim = Simulator()
+
+    def worker():
+        yield -1
+
+    proc = sim.spawn(worker())
+    sim.run()
+    assert not proc.ok
+    with pytest.raises(ProcessError):
+        _ = proc.value
+
+
+def test_yielding_bool_fails_process():
+    # bool is an int subclass, but only exact ints take the delay fast
+    # path; anything else must hit the invalid-yield error.
+    sim = Simulator()
+
+    def worker():
+        yield True
 
     proc = sim.spawn(worker())
     sim.run()
