@@ -51,7 +51,12 @@ from repro.workloads import WorkloadRunner, get_model
 HERE = os.path.dirname(os.path.abspath(__file__))
 BASELINE_PATH = os.path.join(HERE, "BENCH_core_baseline.json")
 SEED_PATH = os.path.join(HERE, "BENCH_core_seed.json")
-OUTPUT = "BENCH_core.json"
+#: Canonical result location — anchored next to this script (like the
+#: baseline/seed files), NOT the CWD: a CWD-relative default used to
+#: scatter diverging BENCH_core.json copies around the tree depending
+#: on where the bench was invoked from. benchmarks/BENCH_core.json is
+#: the single tracked copy; pass --output to write elsewhere.
+OUTPUT = os.path.join(HERE, "BENCH_core.json")
 
 #: CI gate: fail when events/sec drops more than this below baseline.
 REGRESSION_TOLERANCE = 0.20

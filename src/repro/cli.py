@@ -49,11 +49,12 @@ Exit codes
 import argparse
 import sys
 
-from repro.errors import CampaignInterrupted
+from repro.errors import CampaignInterrupted, ServeError
 from repro.experiments import figures, tables
 from repro.experiments import report
 from repro.experiments.preemption import EXIT_RESUMABLE, PreemptionGuard
 from repro.experiments.runner import DEFAULT_SEED, run_matrix
+from repro.serve.server import DEFAULT_PORT as SERVE_DEFAULT_PORT
 from repro.workloads.splash2 import SPLASH2_NAMES
 
 EXIT_OK = 0
@@ -73,6 +74,13 @@ _CELL_COMMANDS = ("run", "trace", "metrics")
 #: Robustness commands.
 _CHAOS_COMMANDS = ("chaos",)
 
+#: Campaign-service commands: the server plus its client verbs.
+_SERVE_COMMANDS = ("serve", "submit", "status", "results", "cancel",
+                   "shutdown")
+
+#: Result-cache maintenance.
+_CACHE_COMMANDS = ("cache",)
+
 
 def build_parser():
     parser = argparse.ArgumentParser(
@@ -83,10 +91,19 @@ def build_parser():
         ),
     )
     parser.add_argument(
-        "artifact", choices=_ARTIFACTS + _CELL_COMMANDS + _CHAOS_COMMANDS,
+        "artifact",
+        choices=(_ARTIFACTS + _CELL_COMMANDS + _CHAOS_COMMANDS
+                 + _SERVE_COMMANDS + _CACHE_COMMANDS),
         help="which artifact to regenerate, a telemetry command "
-             "(run / trace / metrics) on one experiment cell, or "
-             "'chaos' to run a seeded fault-injection campaign",
+             "(run / trace / metrics) on one experiment cell, "
+             "'chaos' to run a seeded fault-injection campaign, "
+             "a campaign-service command (serve / submit / status / "
+             "results / cancel / shutdown), or 'cache' maintenance",
+    )
+    parser.add_argument(
+        "action", nargs="?", default=None, metavar="ARG",
+        help="campaign id for status/results/cancel, or the cache "
+             "action (stats / prune / clear)",
     )
     parser.add_argument(
         "--app", default="fmm", metavar="APP",
@@ -174,6 +191,30 @@ def build_parser():
         "--journal-dir", metavar="PATH", default=None,
         help="run-journal root (default: $REPRO_JOURNAL_DIR or "
              "<cache dir>/runs)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="campaign-service bind/connect address "
+             "(default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="campaign-service port (default {}; 0 = pick a free "
+             "port when serving)".format(SERVE_DEFAULT_PORT),
+    )
+    parser.add_argument(
+        "--pool", type=int, default=2, metavar="N",
+        help="initial worker-pool size for 'serve' (default 2; "
+             "hotplug at runtime via POST /pool)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="client-side wait budget in seconds for 'results' "
+             "(default 600)",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="entry budget for 'cache prune'",
     )
     return parser
 
@@ -331,8 +372,147 @@ def _run_chaos_command(args):
     return EXIT_OK if campaign.ok else EXIT_VIOLATION
 
 
+def _usage(message):
+    print(message, file=sys.stderr)
+    return EXIT_USAGE
+
+
+def _run_serve_command(args):
+    """The campaign-service commands: the server and its client verbs.
+
+    ``serve`` blocks until shut down (its exit status distinguishes a
+    clean stop from a preemption with in-flight campaigns, exactly
+    like a batch run). The client verbs talk to a running server;
+    ``submit`` prints the new campaign's run id *alone* on stdout so
+    shell scripts can capture it (details go to stderr).
+    """
+    import json
+
+    from repro.serve.client import ServeClient
+
+    port = args.port if args.port is not None else SERVE_DEFAULT_PORT
+    if args.artifact == "serve":
+        from repro.serve.server import CampaignServer
+
+        if args.no_cache:
+            return _usage(
+                "repro serve needs the result cache (cross-campaign "
+                "dedup and restart recovery are built on it); drop "
+                "--no-cache"
+            )
+        server = CampaignServer(
+            host=args.host, port=port, pool_size=args.pool,
+            cache=args.cache_dir, journal_root=args.journal_dir,
+        )
+        return server.run()
+
+    client = ServeClient(host=args.host, port=port)
+    try:
+        if args.artifact == "submit":
+            spec = {"threads": args.threads, "seed": args.seed}
+            if args.apps:
+                spec["apps"] = list(args.apps)
+            if args.configs:
+                spec["configs"] = list(args.configs)
+            status = client.submit(spec)
+            print(
+                "campaign {run_id}: {total} cells ({cached} cached, "
+                "{deduped} deduped), state {state}".format(**status),
+                file=sys.stderr,
+            )
+            print(status["run_id"])
+            return EXIT_OK
+        if args.artifact == "shutdown":
+            client.shutdown()
+            print("server stopping", file=sys.stderr)
+            return EXIT_OK
+        if not args.action:
+            return _usage(
+                "repro {} needs a campaign id (see 'repro submit' "
+                "output or GET /campaigns)".format(args.artifact)
+            )
+        if args.artifact == "status":
+            print(json.dumps(client.status(args.action), indent=2,
+                             sort_keys=True))
+            return EXIT_OK
+        if args.artifact == "cancel":
+            status = client.cancel(args.action)
+            print("campaign {} {} after {} of {} cells".format(
+                status["run_id"], status["state"],
+                status["completed"], status["total"],
+            ))
+            return EXIT_OK
+        # results: wait for the terminal state, then fetch.
+        status = client.wait(args.action, timeout=args.timeout)
+        if status["state"] == "cancelled":
+            print("campaign {} was cancelled".format(args.action),
+                  file=sys.stderr)
+            return EXIT_VIOLATION
+        document = client.results(args.action)
+        text = json.dumps(document["records"], indent=2, sort_keys=True)
+        if args.json:
+            from repro.experiments.journal import atomic_write_text
+
+            atomic_write_text(args.json, text + "\n")
+            print("results written to {}".format(args.json),
+                  file=sys.stderr)
+        else:
+            print(text)
+        if document["failed"]:
+            print("{} cell(s) failed".format(document["failed"]),
+                  file=sys.stderr)
+            return EXIT_VIOLATION
+        return EXIT_OK
+    except ServeError as exc:
+        print(str(exc), file=sys.stderr)
+        return EXIT_VIOLATION
+
+
+def _run_cache_command(args):
+    """``repro cache stats | prune | clear``: result-cache upkeep."""
+    import json
+
+    from repro.experiments.cache import ResultCache
+
+    if args.no_cache:
+        return _usage("repro cache needs a cache; drop --no-cache")
+    cache = ResultCache(args.cache_dir)
+    action = args.action or "stats"
+    if action == "prune":
+        if args.max_entries is None or args.max_entries < 0:
+            return _usage(
+                "repro cache prune needs --max-entries N (the entry "
+                "budget to keep)"
+            )
+        evicted = cache.prune(args.max_entries)
+        print("evicted {} entr{}".format(
+            evicted, "y" if evicted == 1 else "ies"
+        ), file=sys.stderr)
+    elif action == "clear":
+        removed = cache.clear()
+        print("removed {} entr{}".format(
+            removed, "y" if removed == 1 else "ies"
+        ), file=sys.stderr)
+    elif action != "stats":
+        return _usage(
+            "unknown cache action {!r}; choose from stats, prune, "
+            "clear".format(action)
+        )
+    stats = dict(cache.stats())
+    stats["entries"] = len(cache)
+    stats["size_bytes"] = cache.size_bytes()
+    stats["layout"] = cache.layout()
+    stats["cache_dir"] = str(cache.cache_dir)
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return EXIT_OK
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.artifact in _SERVE_COMMANDS:
+        return _run_serve_command(args)
+    if args.artifact in _CACHE_COMMANDS:
+        return _run_cache_command(args)
     if args.artifact in _CELL_COMMANDS:
         return _run_cell_command(args)
     if args.artifact in _CHAOS_COMMANDS:

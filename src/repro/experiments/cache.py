@@ -9,10 +9,18 @@ input can legitimately produce a different output). Re-running a
 figure, sweep, or benchmark therefore skips every already-simulated
 cell.
 
-Cache entries are individual pickle files under a two-level directory
-fan-out; writes are atomic (temp file + ``os.replace``), and any entry
-that fails to load — truncated, corrupted, or written by an
-incompatible pickle — is treated as a miss and removed, never an error.
+Cache entries are individual pickle files **sharded** into 2-hex
+content-hash prefix directories (``<dir>/ab/<key>.pkl``), so many
+concurrent campaigns — every worker of every overlapping submission —
+fan their writes out over 256 directories instead of contending on
+one. Early versions of the cache wrote flat entries directly under the
+root (``<dir>/<key>.pkl``); those are still readable and are migrated
+into their shard transparently on first access (:meth:`ResultCache.
+get`) or in bulk (:meth:`ResultCache.migrate`).
+
+Writes are atomic (temp file + ``os.replace``), and any entry that
+fails to load — truncated, corrupted, or written by an incompatible
+pickle — is treated as a miss and removed, never an error.
 """
 
 import hashlib
@@ -115,6 +123,7 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.errors = 0
+        self.migrations = 0
 
     @classmethod
     def coerce(cls, cache):
@@ -138,33 +147,87 @@ class ResultCache:
         )
 
     def _entry_path(self, key):
+        """The canonical (sharded) location of a key's entry."""
         return self.cache_dir / key[:2] / (key + _ENTRY_SUFFIX)
 
-    def get(self, key, default=None):
-        """Load a cached result, or ``default`` on miss/corruption."""
-        path = self._entry_path(key)
+    def _legacy_path(self, key):
+        """Where the pre-shard flat layout kept this key's entry."""
+        return self.cache_dir / (key + _ENTRY_SUFFIX)
+
+    @staticmethod
+    def _load(path):
+        """``(value, status)`` with status 'hit'/'missing'/'corrupt'."""
         try:
             with open(path, "rb") as handle:
-                value = pickle.load(handle)
+                return pickle.load(handle), "hit"
         except FileNotFoundError:
-            self.misses += 1
-            return default
+            return None, "missing"
         except Exception:
+            return None, "corrupt"
+
+    @staticmethod
+    def _evict(path):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _migrate_entry(self, legacy, sharded):
+        """Move one flat legacy entry into its shard, racing safely.
+
+        ``os.replace`` is atomic; if a concurrent process migrated the
+        same entry first (the source vanished) that is success, not
+        failure — identical keys hold identical content by
+        construction.
+        """
+        try:
+            sharded.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, sharded)
+        except OSError:
+            return False
+        self.migrations += 1
+        return True
+
+    def get(self, key, default=None):
+        """Load a cached result, or ``default`` on miss/corruption.
+
+        Looks in the sharded layout first, then falls back to the flat
+        legacy layout; a legacy hit migrates the entry into its shard
+        so the flat directory drains over time. A concurrent migration
+        by another process can make the flat entry vanish between the
+        two probes, so a flat miss re-checks the shard once before
+        declaring an overall miss.
+        """
+        path = self._entry_path(key)
+        value, status = self._load(path)
+        if status == "missing":
+            legacy = self._legacy_path(key)
+            value, status = self._load(legacy)
+            if status == "hit":
+                self._migrate_entry(legacy, path)
+            elif status == "missing":
+                # Another process may have just migrated this entry
+                # out from under us; the shard is now authoritative.
+                value, status = self._load(path)
+            elif status == "corrupt":
+                path = legacy
+        if status == "hit":
+            self.hits += 1
+            return value
+        if status == "corrupt":
             # Truncated/corrupted/incompatible entry: a miss, not a crash.
             self.errors += 1
-            self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return default
-        self.hits += 1
-        return value
+            self._evict(path)
+        self.misses += 1
+        return default
 
     def put(self, key, value):
         """Store a result atomically and durably (temp file, fsync,
         rename): a crash mid-``put`` leaves at worst a stale ``.tmp``
-        file — never a truncated entry under the real name."""
+        file — never a truncated entry under the real name. A legacy
+        flat-layout entry for the same key is dropped afterwards so
+        the key is never double-counted (the shard always wins reads
+        anyway)."""
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -182,32 +245,70 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        try:
+            self._legacy_path(key).unlink()
+        except OSError:
+            pass
         self.stores += 1
 
     def __contains__(self, key):
-        return self._entry_path(key).exists()
+        return (
+            self._entry_path(key).exists()
+            or self._legacy_path(key).exists()
+        )
 
     def entries(self):
-        """All entry paths currently on disk."""
+        """All entry paths currently on disk (sharded and legacy-flat)."""
         if not self.cache_dir.is_dir():
             return []
-        return sorted(self.cache_dir.glob("*/*" + _ENTRY_SUFFIX))
+        sharded = self.cache_dir.glob("*/*" + _ENTRY_SUFFIX)
+        flat = self.cache_dir.glob("*" + _ENTRY_SUFFIX)
+        return sorted(sharded) + sorted(flat)
+
+    def legacy_entries(self):
+        """Flat pre-shard entries still awaiting migration."""
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("*" + _ENTRY_SUFFIX))
+
+    def layout(self):
+        """``{"sharded": n, "flat": n}`` — how far migration has got."""
+        flat = len(self.legacy_entries())
+        return {"sharded": len(self.entries()) - flat, "flat": flat}
+
+    def migrate(self):
+        """Move every flat legacy entry into its shard; returns the
+        number migrated. Safe to run concurrently with readers and
+        other migrators (atomic renames; losing a race is a no-op)."""
+        moved = 0
+        for legacy in self.legacy_entries():
+            key = legacy.name[:-len(_ENTRY_SUFFIX)]
+            if self._migrate_entry(legacy, self._entry_path(key)):
+                moved += 1
+        return moved
 
     def __len__(self):
         return len(self.entries())
 
     def clear(self):
         """Remove every entry, plus any ``.tmp`` files a killed writer
-        left behind (the directory itself is kept)."""
-        stale = (
-            self.cache_dir.glob("*/*.tmp")
-            if self.cache_dir.is_dir() else ()
-        )
-        for path in list(self.entries()) + sorted(stale):
+        left behind (the directory itself is kept). Returns the number
+        of entries removed (tmp leftovers are not counted)."""
+        stale = []
+        if self.cache_dir.is_dir():
+            stale = sorted(self.cache_dir.glob("*/*.tmp")) + sorted(
+                self.cache_dir.glob("*.tmp")
+            )
+        entries = list(self.entries())
+        removed = 0
+        for path in entries + stale:
             try:
                 path.unlink()
             except OSError:
-                pass
+                continue
+            if path not in stale:
+                removed += 1
+        return removed
 
     def prune(self, max_entries):
         """Evict oldest entries (by mtime) down to ``max_entries``."""
@@ -232,7 +333,18 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "errors": self.errors,
+            "migrations": self.migrations,
         }
+
+    def size_bytes(self):
+        """Total bytes of all entries currently on disk."""
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
 
     def __repr__(self):
         return "ResultCache({!r}, hits={}, misses={})".format(

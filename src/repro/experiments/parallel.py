@@ -54,8 +54,14 @@ from repro.experiments.watchdog import (
 #: Placeholder for a cell whose result has not been produced yet.
 _PENDING = object()
 
-_OK = "ok"
-_ERR = "error"
+#: Worker→supervisor message status tags. Public because the serve
+#: worker pool speaks the same queue protocol (results plus the
+#: watchdog's heartbeat messages) as the batch engine's chunk workers.
+OK = "ok"
+ERR = "error"
+
+_OK = OK
+_ERR = ERR
 
 #: How long (seconds) to keep draining a finished/terminated worker's
 #: queue for results that were in flight when it stopped.
@@ -186,8 +192,12 @@ class RetryBackoff:
         return raw * (0.5 + 0.5 * self._rng.random())
 
 
-def _run_cell(cell):
-    """Default task: one ``run_experiment`` call (the bit-exact unit)."""
+def run_cell(cell):
+    """Default task: one ``run_experiment`` call (the bit-exact unit).
+
+    Shared by the batch engine and the serve worker pool, so a cell
+    computes the identical result whichever execution path ran it.
+    """
     from repro.experiments.runner import run_experiment
 
     return run_experiment(
@@ -195,6 +205,9 @@ def _run_cell(cell):
         machine_config=cell.machine_config, telemetry=cell.telemetry,
         **dict(cell.overrides)
     )
+
+
+_run_cell = run_cell
 
 
 def record_engine_metrics(metrics, engine):
@@ -238,17 +251,22 @@ def _chunk_worker(chunk, out_queue, task_fn, beat_interval_s=None):
             stop_beats.set()
 
 
-def _cell_id(cell, index):
+def cell_id(cell, index):
     """Stable journal identity for one submitted cell.
 
     Submission order is deterministic, so the index alone identifies
     the cell across an interrupt/resume; the app/config prefix is for
-    humans reading the journal.
+    humans reading the journal. The serve subsystem journals its
+    campaign cells through the same function, so batch and served
+    journals replay identically.
     """
     app = getattr(cell, "app", None)
     if app is not None:
         return "{}/{}#{}".format(app, getattr(cell, "config", "?"), index)
     return "cell#{}".format(index)
+
+
+_cell_id = cell_id
 
 
 def _fork_context():

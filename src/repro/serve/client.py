@@ -1,0 +1,166 @@
+"""Blocking HTTP client for the campaign service.
+
+The client half of ``repro submit`` / ``status`` / ``results`` /
+``cancel`` / ``shutdown``: a thin :mod:`http.client` wrapper (stdlib,
+matching the server's no-dependency rule) that decodes JSON bodies and
+turns transport failures and error statuses into
+:class:`~repro.errors.ServeError` with the HTTP status attached.
+
+Streaming: :meth:`ServeClient.events` yields the ndjson progress feed
+line by line as the server emits it, ending when the campaign reaches
+a terminal state (the server closes the connection).
+"""
+
+import http.client
+import json
+import socket
+import time
+
+from repro.errors import ServeError
+from repro.serve.server import DEFAULT_PORT
+
+
+class ServeClient:
+    """One server endpoint; connections are per-request (the server
+    closes after every response)."""
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout=10.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method, path, payload=None, timeout=None):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn = http.client.HTTPConnection(
+                self.host, self.port,
+                timeout=self.timeout if timeout is None else timeout,
+            )
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            finally:
+                conn.close()
+        except (OSError, socket.timeout, http.client.HTTPException) as exc:
+            raise ServeError(
+                "cannot reach repro serve at {}:{} ({})".format(
+                    self.host, self.port, exc
+                )
+            )
+        try:
+            document = json.loads(data.decode("utf-8")) if data else {}
+        except (ValueError, UnicodeDecodeError):
+            raise ServeError(
+                "malformed response from {} {} (status {})".format(
+                    method, path, response.status
+                ),
+                status=response.status,
+            )
+        if response.status >= 400:
+            message = document.get("error") if isinstance(document, dict) \
+                else None
+            raise ServeError(
+                message or "{} {} failed with status {}".format(
+                    method, path, response.status
+                ),
+                status=response.status,
+            )
+        return document
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self):
+        return self._request("GET", "/")
+
+    def submit(self, spec):
+        """Submit a campaign spec; returns its status payload."""
+        return self._request("POST", "/campaigns", payload=spec)
+
+    def campaigns(self):
+        return self._request("GET", "/campaigns")
+
+    def status(self, run_id):
+        return self._request("GET", "/campaigns/{}".format(run_id))
+
+    def results(self, run_id):
+        """The final records document (raises 409 while running)."""
+        return self._request(
+            "GET", "/campaigns/{}/results".format(run_id)
+        )
+
+    def cancel(self, run_id):
+        return self._request("DELETE", "/campaigns/{}".format(run_id))
+
+    def pool(self):
+        return self._request("GET", "/pool")
+
+    def set_pool(self, workers):
+        """Hotplug the worker pool to ``workers`` processes."""
+        return self._request(
+            "POST", "/pool", payload={"workers": workers},
+        )
+
+    def shutdown(self):
+        return self._request("POST", "/shutdown")
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(self, run_id, timeout=600.0, poll_s=0.2):
+        """Poll until the campaign reaches a terminal state.
+
+        Returns the final status payload; raises
+        :class:`~repro.errors.ServeError` on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(run_id)
+            if status["state"] in ("done", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    "campaign {} still {} after {:.0f}s ({} of {} "
+                    "cells)".format(
+                        run_id, status["state"], timeout,
+                        status["completed"], status["total"],
+                    )
+                )
+            time.sleep(poll_s)
+
+    def events(self, run_id, timeout=600.0):
+        """Generator over the campaign's ndjson progress stream."""
+        try:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout,
+            )
+            try:
+                conn.request(
+                    "GET", "/campaigns/{}/events".format(run_id),
+                )
+                response = conn.getresponse()
+                if response.status >= 400:
+                    data = response.read()
+                    try:
+                        message = json.loads(data.decode("utf-8"))["error"]
+                    except Exception:
+                        message = "event stream failed with status " \
+                            "{}".format(response.status)
+                    raise ServeError(message, status=response.status)
+                for raw in response:
+                    line = raw.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+            finally:
+                conn.close()
+        except (OSError, socket.timeout, http.client.HTTPException) as exc:
+            raise ServeError(
+                "event stream from {}:{} broke ({})".format(
+                    self.host, self.port, exc
+                )
+            )

@@ -30,6 +30,10 @@ from repro.telemetry.events import (
     BarrierCheckIn,
     BarrierDepart,
     BarrierRelease,
+    CampaignCancelled,
+    CampaignFinished,
+    CampaignSubmitted,
+    CellResolved,
     CheckpointWritten,
     FaultInjected,
     InvariantCheck,
@@ -44,6 +48,8 @@ from repro.telemetry.events import (
     SleepExit,
     SleepRecord,
     WakeUp,
+    WorkerJoined,
+    WorkerLeft,
     WorkerStalled,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -59,6 +65,10 @@ __all__ = [
     "BarrierCheckIn",
     "BarrierDepart",
     "BarrierRelease",
+    "CampaignCancelled",
+    "CampaignFinished",
+    "CampaignSubmitted",
+    "CellResolved",
     "CheckpointWritten",
     "Counter",
     "FaultInjected",
@@ -82,5 +92,7 @@ __all__ = [
     "TelemetrySnapshot",
     "Tracer",
     "WakeUp",
+    "WorkerJoined",
+    "WorkerLeft",
     "WorkerStalled",
 ]
