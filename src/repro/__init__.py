@@ -19,7 +19,7 @@ subpackage (for instance :mod:`repro.sim` in a unit test) does not pull in
 the whole stack.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 _LAZY = {
     "MachineConfig": ("repro.config", "MachineConfig"),

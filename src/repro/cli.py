@@ -81,6 +81,9 @@ _SERVE_COMMANDS = ("serve", "submit", "status", "results", "cancel",
 #: Result-cache maintenance.
 _CACHE_COMMANDS = ("cache",)
 
+#: Offline storage audit/repair.
+_FSCK_COMMANDS = ("fsck",)
+
 
 def build_parser():
     parser = argparse.ArgumentParser(
@@ -93,17 +96,19 @@ def build_parser():
     parser.add_argument(
         "artifact",
         choices=(_ARTIFACTS + _CELL_COMMANDS + _CHAOS_COMMANDS
-                 + _SERVE_COMMANDS + _CACHE_COMMANDS),
+                 + _SERVE_COMMANDS + _CACHE_COMMANDS + _FSCK_COMMANDS),
         help="which artifact to regenerate, a telemetry command "
              "(run / trace / metrics) on one experiment cell, "
              "'chaos' to run a seeded fault-injection campaign, "
              "a campaign-service command (serve / submit / status / "
-             "results / cancel / shutdown), or 'cache' maintenance",
+             "results / cancel / shutdown), 'cache' maintenance, or "
+             "'fsck' to audit/repair journal and cache trees",
     )
     parser.add_argument(
         "action", nargs="?", default=None, metavar="ARG",
-        help="campaign id for status/results/cancel, or the cache "
-             "action (stats / prune / clear)",
+        help="campaign id for status/results/cancel, the cache "
+             "action (stats / prune / clear), or the run id for fsck "
+             "(default: every journal)",
     )
     parser.add_argument(
         "--app", default="fmm", metavar="APP",
@@ -215,6 +220,24 @@ def build_parser():
     parser.add_argument(
         "--max-entries", type=int, default=None, metavar="N",
         help="entry budget for 'cache prune'",
+    )
+    parser.add_argument(
+        "--repair", action="store_true",
+        help="fsck: apply the safe repairs (truncate torn journal "
+             "tails, quarantine corrupt payloads, sweep stale tmp "
+             "files) instead of only reporting",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="S",
+        help="serve: per-connection idle/read deadline in seconds; a "
+             "stalled client gets 408 and its connection back "
+             "(default 30, 0 disables)",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=128, metavar="N",
+        help="serve: load-shedding cap on concurrent connections; "
+             "beyond it new requests get 503 + Retry-After "
+             "(default 128, 0 disables)",
     )
     return parser
 
@@ -403,6 +426,8 @@ def _run_serve_command(args):
         server = CampaignServer(
             host=args.host, port=port, pool_size=args.pool,
             cache=args.cache_dir, journal_root=args.journal_dir,
+            idle_timeout_s=args.idle_timeout or None,
+            max_connections=args.max_connections or None,
         )
         return server.run()
 
@@ -468,6 +493,29 @@ def _run_serve_command(args):
         return EXIT_VIOLATION
 
 
+def _run_fsck_command(args):
+    """``repro fsck [RUN_ID] [--repair]``: audit journals and cache.
+
+    Exit status: 0 when the tree is clean (or every issue was
+    repaired), 1 when issues remain — unrepaired damage without
+    ``--repair``, or unrepairable loss (a corrupt ``spec.json``) with
+    it.
+    """
+    from repro.experiments.fsck import fsck_tree, render_fsck_report
+
+    cache_dir = None
+    if not args.no_cache:
+        from repro.experiments.cache import default_cache_dir
+
+        cache_dir = args.cache_dir or default_cache_dir()
+    report = fsck_tree(
+        journal_root=args.journal_dir, run_id=args.action,
+        cache_dir=cache_dir, repair=args.repair,
+    )
+    _emit(render_fsck_report(report))
+    return EXIT_OK if report.ok else EXIT_VIOLATION
+
+
 def _run_cache_command(args):
     """``repro cache stats | prune | clear``: result-cache upkeep."""
     import json
@@ -509,8 +557,16 @@ def _run_cache_command(args):
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    # A seeded storage fault plan in $REPRO_STORAGE_FAULTS applies to
+    # any command — this is how CI runs a *subprocess* campaign under
+    # injected ENOSPC/torn-write faults.
+    from repro.faults.storage import install_from_env
+
+    install_from_env()
     if args.artifact in _SERVE_COMMANDS:
         return _run_serve_command(args)
+    if args.artifact in _FSCK_COMMANDS:
+        return _run_fsck_command(args)
     if args.artifact in _CACHE_COMMANDS:
         return _run_cache_command(args)
     if args.artifact in _CELL_COMMANDS:
@@ -573,7 +629,7 @@ def main(argv=None):
                 _emit(report.render_metrics(
                     engine_metrics,
                     title="Run summary — engine & cache counters",
-                    prefixes=("engine.", "cache."),
+                    prefixes=("engine.", "cache.", "journal.", "storage."),
                 ))
             return EXIT_RESUMABLE
     if args.artifact in ("table1", "all"):
@@ -616,7 +672,7 @@ def main(argv=None):
     if matrix is not None and len(engine_metrics):
         _emit(report.render_metrics(
             engine_metrics, title="Run summary — engine & cache counters",
-            prefixes=("engine.", "cache."),
+            prefixes=("engine.", "cache.", "journal.", "storage."),
         ))
     return EXIT_OK
 

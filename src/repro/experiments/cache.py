@@ -20,25 +20,33 @@ get`) or in bulk (:meth:`ResultCache.migrate`).
 
 Writes are atomic (temp file + ``os.replace``), and any entry that
 fails to load — truncated, corrupted, or written by an incompatible
-pickle — is treated as a miss and removed, never an error.
+pickle — is treated as a miss and removed, never an error. Writes
+route through the storage fault seams of :mod:`repro.faults.storage`
+and *degrade* on a failing disk (ENOSPC, EIO): a store that cannot
+land is counted in :attr:`ResultCache.write_errors` and dropped — the
+cell simply re-runs next time — instead of killing the campaign.
 """
 
 import hashlib
 import json
 import os
 import pickle
-import tempfile
+import warnings
 from dataclasses import fields, is_dataclass
 from enum import Enum
 from pathlib import Path
 
 from repro import __version__
 from repro.errors import ConfigError
+from repro.faults import storage as _storage
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _ENTRY_SUFFIX = ".pkl"
+
+#: Glob matching exactly the 2-hex shard directories.
+_SHARD_GLOB = "[0-9a-f][0-9a-f]"
 
 
 def default_cache_dir():
@@ -124,6 +132,10 @@ class ResultCache:
         self.stores = 0
         self.errors = 0
         self.migrations = 0
+        #: Stores lost to a failing disk (degraded, not raised).
+        self.write_errors = 0
+        self.last_write_error = None
+        self._warned_write = False
 
     @classmethod
     def coerce(cls, cache):
@@ -227,29 +239,37 @@ class ResultCache:
         file — never a truncated entry under the real name. A legacy
         flat-layout entry for the same key is dropped afterwards so
         the key is never double-counted (the shard always wins reads
-        anyway)."""
+        anyway).
+
+        Returns True when the entry landed. A failing disk (ENOSPC,
+        EIO — injected or real) degrades to False: the store is
+        counted in :attr:`write_errors` and the cell re-runs as a miss
+        next time, because a cache that kills its campaign over a full
+        disk would be worse than no cache. Unpicklable values still
+        raise — that is a caller bug, not a disk fault.
+        """
         path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), suffix=".tmp"
-        )
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+            _storage.atomic_write_bytes(path, data)
+        except OSError as exc:
+            self.write_errors += 1
+            self.last_write_error = "{}: {}".format(type(exc).__name__, exc)
+            if not self._warned_write:
+                self._warned_write = True
+                warnings.warn(
+                    "result cache at {}: store failed ({}); degrading — "
+                    "the entry is dropped and its cell will re-run as a "
+                    "miss".format(self.cache_dir, exc),
+                    RuntimeWarning, stacklevel=2,
+                )
+            return False
         try:
             self._legacy_path(key).unlink()
         except OSError:
             pass
         self.stores += 1
+        return True
 
     def __contains__(self, key):
         return (
@@ -258,10 +278,15 @@ class ResultCache:
         )
 
     def entries(self):
-        """All entry paths currently on disk (sharded and legacy-flat)."""
+        """All entry paths currently on disk (sharded and legacy-flat).
+
+        Only the 2-hex shard directories are scanned, so foreign
+        subdirectories (e.g. an fsck ``quarantine/``) are never counted
+        or touched by :meth:`clear`/:meth:`prune`.
+        """
         if not self.cache_dir.is_dir():
             return []
-        sharded = self.cache_dir.glob("*/*" + _ENTRY_SUFFIX)
+        sharded = self.cache_dir.glob(_SHARD_GLOB + "/*" + _ENTRY_SUFFIX)
         flat = self.cache_dir.glob("*" + _ENTRY_SUFFIX)
         return sorted(sharded) + sorted(flat)
 
@@ -296,7 +321,7 @@ class ResultCache:
         of entries removed (tmp leftovers are not counted)."""
         stale = []
         if self.cache_dir.is_dir():
-            stale = sorted(self.cache_dir.glob("*/*.tmp")) + sorted(
+            stale = sorted(self.cache_dir.glob(_SHARD_GLOB + "/*.tmp")) + sorted(
                 self.cache_dir.glob("*.tmp")
             )
         entries = list(self.entries())
@@ -334,6 +359,7 @@ class ResultCache:
             "stores": self.stores,
             "errors": self.errors,
             "migrations": self.migrations,
+            "write_errors": self.write_errors,
         }
 
     def size_bytes(self):

@@ -18,6 +18,19 @@ makes every campaign restartable:
   with the tmp-file + ``os.replace`` idiom (:func:`atomic_write_bytes`),
   so readers only ever observe complete files.
 
+Every durability-critical syscall routes through the storage fault
+seams of :mod:`repro.faults.storage`, so the claims above are testable
+against injected ENOSPC, EIO, torn writes, and crash-at-fsync points.
+Writes *degrade gracefully*: a full or failing disk costs the record
+(counted in :attr:`RunJournal.write_errors`, surfaced as a
+``storage.fault`` telemetry event and a one-line warning), never the
+campaign — on resume an unrecorded cell simply re-runs. Reads that
+find corruption (:meth:`RunJournal.read_checkpoint`,
+:meth:`RunJournal.load_payload`) are counted in
+:attr:`RunJournal.corrupt_reads` and warned about once, because a
+climbing corrupt-read count is how an operator learns a disk is going
+bad; ``repro fsck`` audits and repairs the same tree offline.
+
 Resume (``repro <artifact> --resume <run_id>``, ``repro chaos
 --resume``) opens the journal, verifies the new invocation's spec hash
 against the recorded one (a resumed run must be the *same* campaign),
@@ -31,13 +44,31 @@ import json
 import os
 import pickle
 import re
-import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ConfigError
 from repro.experiments.cache import default_cache_dir
+from repro.faults.storage import (
+    append_line_durable,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+__all__ = [
+    "JOURNAL_DIR_ENV",
+    "JournalState",
+    "RECORD_KINDS",
+    "RunJournal",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "default_journal_root",
+    "list_run_ids",
+    "run_id_for",
+    "spec_hash",
+]
 
 #: Environment variable overriding the default journal root.
 JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
@@ -87,37 +118,6 @@ def list_run_ids(root=None):
         for entry in root.iterdir()
         if (entry / _SPEC_FILE).is_file() and _RUN_ID_RE.match(entry.name)
     )
-
-
-def atomic_write_bytes(path, data, fsync=True):
-    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
-
-    Readers never observe a partial file: they see either the old
-    content or the new content. With ``fsync`` (the default) the data
-    is forced to disk before the rename, so even a crash straddling the
-    replace leaves a complete file behind.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            if fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-
-
-def atomic_write_text(path, text, fsync=True):
-    """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
-    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
 
 
 def spec_hash(spec):
@@ -181,6 +181,56 @@ class RunJournal:
         self.root = Path(root) if root else default_journal_root()
         self.run_dir = self.root / run_id
         self._seq = 0
+        #: Optional tracer receiving ``storage.fault`` events.
+        self.tracer = None
+        #: Durable appends/snapshots lost to a failing disk (degraded,
+        #: not raised: losing a record costs a re-run, never the run).
+        self.write_errors = 0
+        #: Reads that found corruption where a record should have been.
+        self.corrupt_reads = 0
+        self._warned_write = False
+        self._warned_read = False
+
+    # ------------------------------------------------------------------
+    # storage-fault accounting
+
+    def _emit_storage_fault(self, op, path, exc):
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.telemetry.events import StorageFault
+
+            self.tracer.emit(StorageFault(
+                ts=0, op=op, path=str(path),
+                error="{}: {}".format(type(exc).__name__, exc),
+            ))
+
+    def _note_write_error(self, op, path, exc):
+        """A durable write failed: degrade (count + warn), don't raise."""
+        self.write_errors += 1
+        self._emit_storage_fault(op, path, exc)
+        if not self._warned_write:
+            self._warned_write = True
+            warnings.warn(
+                "journal {!r}: {} failed ({}); degrading — the record "
+                "is lost and its cell will re-run on resume".format(
+                    self.run_id, op, exc
+                ),
+                RuntimeWarning, stacklevel=3,
+            )
+
+    def _note_corrupt_read(self, what, path, exc):
+        """A read found corruption: count it and warn the operator."""
+        self.corrupt_reads += 1
+        self._emit_storage_fault("corrupt-read", path, exc)
+        if not self._warned_read:
+            self._warned_read = True
+            warnings.warn(
+                "journal {!r}: corrupt {} at {} ({}); treating as "
+                "missing — a climbing corrupt-read count usually means "
+                "a disk is going bad (run `repro fsck`)".format(
+                    self.run_id, what, path, exc
+                ),
+                RuntimeWarning, stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -246,7 +296,15 @@ class RunJournal:
     # append-only record stream
 
     def append(self, record, **fields):
-        """Durably append one record line (flush + fsync before return)."""
+        """Durably append one record line (write + fsync before return).
+
+        Returns True when the record reached the disk. A failing write
+        (ENOSPC, EIO — injected or real) is *degraded*: counted in
+        :attr:`write_errors`, warned about once, and False returned,
+        because losing one journal record costs at worst a re-run of
+        its cell on resume, while raising would kill the campaign the
+        journal exists to protect.
+        """
         if record not in RECORD_KINDS:
             raise ConfigError(
                 "unknown journal record kind {!r}; choose from {}".format(
@@ -258,11 +316,14 @@ class RunJournal:
                 "t": round(time.time(), 3)}
         body.update(fields)
         line = json.dumps(body, sort_keys=True, separators=(",", ":"))
-        self.run_dir.mkdir(parents=True, exist_ok=True)
-        with open(self.run_dir / _JOURNAL_FILE, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        path = self.run_dir / _JOURNAL_FILE
+        try:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            append_line_durable(path, (line + "\n").encode("utf-8"))
+        except OSError as exc:
+            self._note_write_error("journal-append", path, exc)
+            return False
+        return True
 
     # Per-cell lifecycle -------------------------------------------------
 
@@ -329,15 +390,23 @@ class RunJournal:
         :class:`~repro.telemetry.events.CheckpointWritten` event is
         emitted so campaign observability rides the same stream as
         everything else.
+
+        A failing disk degrades like :meth:`append`: the snapshot is
+        derived data (replay reconstructs it from the record stream),
+        so losing it costs nothing but a slower resume.
         """
-        atomic_write_text(
-            self.run_dir / _CHECKPOINT_FILE,
-            json.dumps(
-                {"run_id": self.run_id, "completed": completed,
-                 "total": total},
-                sort_keys=True, indent=2,
-            ) + "\n",
-        )
+        path = self.run_dir / _CHECKPOINT_FILE
+        try:
+            atomic_write_text(
+                path,
+                json.dumps(
+                    {"run_id": self.run_id, "completed": completed,
+                     "total": total},
+                    sort_keys=True, indent=2,
+                ) + "\n",
+            )
+        except OSError as exc:
+            self._note_write_error("checkpoint", path, exc)
         self.append("checkpoint", completed=completed, total=total)
         if tracer is not None and tracer.enabled:
             from repro.telemetry.events import CheckpointWritten
@@ -347,12 +416,20 @@ class RunJournal:
             ))
 
     def read_checkpoint(self):
-        """The last checkpoint snapshot, or ``None`` if never written."""
+        """The last checkpoint snapshot, or ``None`` if never written.
+
+        A checkpoint that exists but cannot be parsed is *corruption*,
+        not absence — it is counted in :attr:`corrupt_reads` and warned
+        about, instead of being silently swallowed.
+        """
         path = self.run_dir / _CHECKPOINT_FILE
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 return json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            self._note_corrupt_read("checkpoint", path, exc)
             return None
 
     # ------------------------------------------------------------------
@@ -363,11 +440,20 @@ class RunJournal:
         return self.run_dir / _RESULTS_DIR / (digest + ".pkl")
 
     def store_payload(self, cell_id, payload):
-        """Atomically persist one cell's output under the run."""
-        atomic_write_bytes(
-            self._payload_path(cell_id),
-            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
-        )
+        """Atomically persist one cell's output under the run.
+
+        Returns True on success. A failing disk degrades: the payload
+        is simply absent, so resume re-runs the cell (the atomic-write
+        idiom guarantees no partial file is ever visible).
+        """
+        path = self._payload_path(cell_id)
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            atomic_write_bytes(path, data)
+        except OSError as exc:
+            self._note_write_error("payload-store", path, exc)
+            return False
+        return True
 
     def load_payload(self, cell_id, default=None):
         """Load a persisted cell output; corruption is a miss, like the
@@ -378,7 +464,8 @@ class RunJournal:
                 return pickle.load(fh)
         except FileNotFoundError:
             return default
-        except Exception:
+        except Exception as exc:
+            self._note_corrupt_read("payload", path, exc)
             try:
                 path.unlink()
             except OSError:
@@ -404,16 +491,21 @@ class RunJournal:
             pass
         path = self.run_dir / _JOURNAL_FILE
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                lines = fh.read().split("\n")
+            with open(path, "rb") as fh:
+                lines = fh.read().split(b"\n")
         except OSError:
             return state
-        for position, line in enumerate(lines):
+        for line in lines:
             if not line:
                 continue
+            # Bytes, decoded per line: a torn tail may hold arbitrary
+            # binary garbage, which must flag the tail, not blow up the
+            # whole-file decode.
             try:
-                body = json.loads(line)
-            except ValueError:
+                body = json.loads(line.decode("utf-8"))
+                if not isinstance(body, dict):
+                    raise ValueError("record line is not a JSON object")
+            except (ValueError, UnicodeDecodeError):
                 # Only the final (torn) line may be malformed; anything
                 # earlier was fsynced whole before the next append began.
                 state.torn_tail = True

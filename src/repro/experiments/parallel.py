@@ -215,13 +215,20 @@ def record_engine_metrics(metrics, engine):
 
     This is the bridge the CLI run summary uses: ``engine.*`` counters
     mirror :class:`EngineStats`, ``cache.*`` counters mirror
-    :meth:`~repro.experiments.cache.ResultCache.stats`.
+    :meth:`~repro.experiments.cache.ResultCache.stats`, and
+    ``journal.*`` counters surface the storage-degradation accounting
+    (lost writes, corrupt reads) so a sick disk shows up in every run
+    summary instead of only in warnings.
     """
     for name, value in engine.stats.as_dict().items():
         metrics.counter("engine.{}".format(name)).inc(value)
     if engine.cache is not None:
         for name, value in engine.cache.stats().items():
             metrics.counter("cache.{}".format(name)).inc(value)
+    journal = getattr(engine, "journal", None)
+    if journal is not None:
+        metrics.counter("journal.write_errors").inc(journal.write_errors)
+        metrics.counter("journal.corrupt_reads").inc(journal.corrupt_reads)
 
 
 def _chunk_worker(chunk, out_queue, task_fn, beat_interval_s=None):
@@ -379,6 +386,10 @@ class ExperimentEngine:
         self.watchdog = WatchdogPolicy.coerce(watchdog)
         self.preemption = preemption
         self.tracer = tracer
+        if journal is not None and tracer is not None:
+            # Storage faults the journal degrades over ride the same
+            # telemetry stream as every other engine event.
+            journal.tracer = tracer
         self.checkpoint_every = checkpoint_every
         self.stats = EngineStats()
         #: Backoff delays applied to retries, in the order they were
@@ -523,6 +534,20 @@ class ExperimentEngine:
             ),
         )
 
+    def _cache_store(self, key, value):
+        """Feed the cache, surfacing a degraded (lost) store as a
+        ``storage.fault`` telemetry event — the cache itself only
+        counts and warns."""
+        if self.cache.put(key, value):
+            return
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.telemetry.events import StorageFault
+
+            self.tracer.emit(StorageFault(
+                ts=0, op="cache-store", path=key,
+                error=self.cache.last_write_error or "",
+            ))
+
     # ------------------------------------------------------------------
     # serial path
 
@@ -555,7 +580,7 @@ class ExperimentEngine:
                 key = None
                 if use_cache:
                     key = cell.key()
-                    self.cache.put(key, result)
+                    self._cache_store(key, result)
                 if journal is not None:
                     journal.record_completed(
                         _cell_id(cell, index), index=index, key=key,
@@ -607,7 +632,7 @@ class ExperimentEngine:
                 key = None
                 if use_cache:
                     key = cells[index].key()
-                    self.cache.put(key, payload)
+                    self._cache_store(key, payload)
                 if journal is not None:
                     journal.record_completed(
                         _cell_id(cells[index], index), index=index, key=key,

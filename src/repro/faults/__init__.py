@@ -9,7 +9,14 @@ Three layers:
   coherence controller and CPU sleep path (no-ops when absent);
 * :mod:`repro.faults.invariants` — :class:`InvariantChecker`, the
   post-run watchdog holding any run (faulted or not) to barrier
-  safety/liveness, monotonic time, and energy conservation.
+  safety/liveness, monotonic time, and energy conservation;
+* :mod:`repro.faults.storage` — :class:`StorageFaultInjector`, the
+  same idea aimed at the repo's own durability layer: seeded ENOSPC /
+  EIO / torn-write / crash-at-fsync injection behind the I/O shim the
+  journal and result cache write through;
+* :mod:`repro.faults.netchaos` — :class:`ChaosProxy`, an in-process
+  TCP forwarder injecting delays, drops, truncation, and corruption
+  between a serve client and its server.
 
 :mod:`repro.faults.chaos` (imported lazily — it pulls in the
 experiment harness) sweeps sampled plans across the paper's five
@@ -17,6 +24,16 @@ configurations; the CLI surfaces it as ``repro chaos``.
 """
 
 from repro.faults.injector import FAULT_KINDS, FaultInjector, install_fault_plan
+from repro.faults.netchaos import NET_FAULT_KINDS, ChaosProxy, NetChaosPlan
+from repro.faults.storage import (
+    STORAGE_FAULT_KINDS,
+    SimulatedCrash,
+    StorageFaultInjector,
+    StorageFaultPlan,
+    install_storage_faults,
+    storage_faults,
+    uninstall_storage_faults,
+)
 from repro.faults.invariants import (
     BARRIER_LIVENESS,
     BARRIER_SAFETY,
@@ -32,6 +49,7 @@ from repro.faults.plan import FaultPlan
 __all__ = [
     "BARRIER_LIVENESS",
     "BARRIER_SAFETY",
+    "ChaosProxy",
     "ENERGY_CONSERVATION",
     "FAULT_KINDS",
     "FaultInjector",
@@ -41,5 +59,14 @@ __all__ = [
     "InvariantError",
     "InvariantViolation",
     "MONOTONIC_TIME",
+    "NET_FAULT_KINDS",
+    "NetChaosPlan",
+    "STORAGE_FAULT_KINDS",
+    "SimulatedCrash",
+    "StorageFaultInjector",
+    "StorageFaultPlan",
     "install_fault_plan",
+    "install_storage_faults",
+    "storage_faults",
+    "uninstall_storage_faults",
 ]

@@ -1,0 +1,314 @@
+"""In-process TCP chaos proxy for hostile-network testing.
+
+The serve layer (:mod:`repro.serve`) is exercised in CI over loopback
+sockets that never delay, drop, or corrupt a byte — which proves
+nothing about the retry/reconnect behaviour the clients claim. This
+module puts a deliberately unreliable hop between a client and the
+real server:
+
+    with ChaosProxy("127.0.0.1", server_port, plan) as proxy:
+        client = ServeClient(host="127.0.0.1", port=proxy.port)
+        ...
+
+:class:`ChaosProxy` is a tiny threaded TCP forwarder. For every
+accepted connection it opens one upstream connection and pumps bytes
+both ways; the fault plan applies to the **upstream → client**
+direction only (responses), because that is the direction the
+self-healing client logic must survive — mangling requests would test
+the server's parser instead, which `tests/test_serve_http.py` already
+does directly.
+
+Determinism: like every fault layer in this repo, faults are decided
+by seeded RNG, not wall-clock races. Each accepted connection gets its
+own ``random.Random`` seeded from ``(plan.seed, connection index)``,
+so the fault sequence a connection experiences depends only on the
+plan and its accept order — never on thread scheduling within the
+connection.
+
+Fault kinds (:data:`NET_FAULT_KINDS`):
+
+* ``delay`` — hold a response chunk for ``delay_s`` before relaying;
+* ``truncate`` — relay a prefix of a chunk, then close both sockets
+  (the mid-response cut an fsynced server dying looks like);
+* ``corrupt`` — flip one byte of a chunk before relaying;
+* ``drop`` — close the connection the moment it is accepted (the
+  connection-refused-after-accept a dying load balancer produces).
+"""
+
+import random
+import socket
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "NET_FAULT_KINDS",
+    "ChaosProxy",
+    "NetChaosPlan",
+]
+
+#: Network fault kinds a plan may inject.
+NET_FAULT_KINDS = ("delay", "truncate", "corrupt", "drop")
+
+_CHUNK = 65536
+_ACCEPT_POLL_S = 0.05
+
+
+def _check_probability(name, value):
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(
+            "{} must be in [0, 1], got {!r}".format(name, value)
+        )
+
+
+@dataclass(frozen=True)
+class NetChaosPlan:
+    """Seeded declarative recipe of network faults.
+
+    Probabilities are per *relayed chunk* (``truncate``/``corrupt``/
+    ``delay``) or per *accepted connection* (``drop``). The default
+    plan is a no-op, so a proxy with ``NetChaosPlan()`` is a plain
+    forwarder — useful as a test control.
+    """
+
+    name: str = "net-chaos"
+    seed: int = 0
+    drop_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_s: float = 0.05
+    truncate_probability: float = 0.0
+    corrupt_probability: float = 0.0
+
+    def __post_init__(self):
+        _check_probability("drop_probability", self.drop_probability)
+        _check_probability("delay_probability", self.delay_probability)
+        _check_probability("truncate_probability", self.truncate_probability)
+        _check_probability("corrupt_probability", self.corrupt_probability)
+        if self.delay_s < 0:
+            raise ConfigError(
+                "delay_s must be non-negative, got {!r}".format(self.delay_s)
+            )
+
+    @property
+    def is_noop(self):
+        return (
+            self.drop_probability == 0.0
+            and self.delay_probability == 0.0
+            and self.truncate_probability == 0.0
+            and self.corrupt_probability == 0.0
+        )
+
+    def describe(self):
+        active = []
+        for field_name in (
+            "drop_probability", "delay_probability",
+            "truncate_probability", "corrupt_probability",
+        ):
+            value = getattr(self, field_name)
+            if value:
+                active.append("{}={}".format(field_name, value))
+        return "{}(seed={}{}{})".format(
+            self.name, self.seed, ", " if active else "",
+            ", ".join(active),
+        )
+
+
+class ChaosProxy:
+    """A threaded TCP forwarder that injects a :class:`NetChaosPlan`.
+
+    Listens on ``127.0.0.1:<port>`` (``port=0`` picks a free one, read
+    it back from :attr:`port`) and forwards every connection to
+    ``upstream_host:upstream_port``. Use as a context manager or call
+    :meth:`start`/:meth:`stop`.
+
+    Counters (:attr:`connections`, :attr:`faults`, a per-kind
+    :attr:`fault_counts`) let tests assert the chaos actually happened
+    — a resilience test whose proxy injected nothing proves nothing.
+    """
+
+    def __init__(self, upstream_host, upstream_port, plan=None, port=0):
+        self.upstream = (upstream_host, upstream_port)
+        self.plan = plan or NetChaosPlan()
+        self._requested_port = port
+        self.port = None
+        self.connections = 0
+        self.faults = 0
+        self.fault_counts = {kind: 0 for kind in NET_FAULT_KINDS}
+        self._lock = threading.Lock()
+        self._listener = None
+        self._accept_thread = None
+        self._stop = threading.Event()
+        self._conn_threads = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self):
+        if self._listener is not None:
+            raise ConfigError("proxy already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", self._requested_port))
+        listener.listen(32)
+        listener.settimeout(_ACCEPT_POLL_S)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in self._conn_threads:
+            thread.join(timeout=2.0)
+        self._listener = None
+        self._accept_thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def _count_fault(self, kind):
+        with self._lock:
+            self.faults += 1
+            self.fault_counts[kind] += 1
+
+    # ------------------------------------------------------------------
+    # forwarding
+
+    def _accept_loop(self):
+        index = 0
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self.connections += 1
+            rng = random.Random(
+                "netchaos:{}:{}".format(self.plan.seed, index)
+            )
+            index += 1
+            thread = threading.Thread(
+                target=self._handle, args=(client, rng),
+                name="chaos-proxy-conn", daemon=True,
+            )
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _handle(self, client, rng):
+        plan = self.plan
+        if rng.random() < plan.drop_probability:
+            self._count_fault("drop")
+            _close(client)
+            return
+        upstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            upstream.connect(self.upstream)
+        except OSError:
+            _close(client)
+            return
+        # Requests relay verbatim; responses pass through the mangler.
+        # The request pump runs on its own thread, the response pump on
+        # this one, so a half-closed direction never deadlocks the other.
+        forward = threading.Thread(
+            target=self._pump_clean, args=(client, upstream),
+            name="chaos-proxy-request", daemon=True,
+        )
+        forward.start()
+        self._pump_faulted(upstream, client, rng)
+        forward.join(timeout=2.0)
+        _close(client)
+        _close(upstream)
+
+    def _pump_clean(self, source, sink):
+        while True:
+            try:
+                data = source.recv(_CHUNK)
+            except OSError:
+                break
+            if not data:
+                break
+            try:
+                sink.sendall(data)
+            except OSError:
+                break
+        # Propagate EOF so the server sees the end of the request body.
+        try:
+            sink.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def _pump_faulted(self, source, sink, rng):
+        plan = self.plan
+        while True:
+            try:
+                data = source.recv(_CHUNK)
+            except OSError:
+                return
+            if not data:
+                try:
+                    sink.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            # One roll per chunk, cumulative thresholds, so the RNG
+            # consumption (and thus the fault sequence) is fixed per
+            # connection regardless of timing.
+            roll = rng.random()
+            threshold = plan.truncate_probability
+            if roll < threshold:
+                cut = rng.randrange(0, len(data))
+                self._count_fault("truncate")
+                if cut:
+                    try:
+                        sink.sendall(data[:cut])
+                    except OSError:
+                        pass
+                return  # caller closes both sockets: mid-response cut
+            threshold += plan.corrupt_probability
+            if roll < threshold:
+                position = rng.randrange(0, len(data))
+                mangled = bytearray(data)
+                mangled[position] ^= 0xFF
+                data = bytes(mangled)
+                self._count_fault("corrupt")
+            threshold += plan.delay_probability
+            if roll < threshold:
+                self._count_fault("delay")
+                # A real slow link stalls the bytes, not the process:
+                # waiting on the stop event keeps shutdown prompt.
+                self._stop.wait(plan.delay_s)
+            try:
+                sink.sendall(data)
+            except OSError:
+                return
+
+
+def _close(sock):
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

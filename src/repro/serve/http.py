@@ -35,10 +35,15 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: ``Retry-After`` value sent with load-shedding 503 replies.
+RETRY_AFTER_S = 1
 
 
 class HttpError(Exception):
@@ -185,9 +190,17 @@ async def _read_request(reader):
     )
 
 
-async def _write_json(writer, status, payload):
-    writer.write(_head(status, "application/json") + _json_bytes(payload))
+async def _write_json(writer, status, payload, extra=()):
+    writer.write(
+        _head(status, "application/json", extra) + _json_bytes(payload)
+    )
     await writer.drain()
+
+
+async def _drain_peer(reader):
+    """Read and discard until the peer closes (lingering close)."""
+    while await reader.read(65536):
+        pass
 
 
 async def _write_stream(writer, stream):
@@ -198,27 +211,70 @@ async def _write_stream(writer, stream):
         await writer.drain()
 
 
-def make_connection_handler(router):
+def make_connection_handler(router, idle_timeout_s=None,
+                            max_connections=None):
     """The ``asyncio.start_server`` callback serving ``router``.
 
     One request per connection; handler exceptions become JSON error
     replies (500 unless the handler raised :class:`HttpError`). Client
     disconnects mid-stream are normal (a watcher hit Ctrl-C) and are
     swallowed.
+
+    Hostile-peer hardening:
+
+    * ``idle_timeout_s`` — deadline on reading the *request* (head and
+      body together). A client that opens a socket and stalls — the
+      slowloris move — gets a 408 and its connection back instead of
+      pinning a server slot forever. The deadline covers only the
+      read: a long-lived event stream is still free to run for hours,
+      because by then the peer has proven it can speak HTTP.
+    * ``max_connections`` — load-shedding cap on concurrent
+      connections. Beyond it, new requests are answered immediately
+      with 503 + ``Retry-After`` rather than queued into a pile-up;
+      the self-healing client treats that as a backoff-and-retry
+      signal.
     """
+    open_connections = 0
 
     async def handle(reader, writer):
+        nonlocal open_connections
+        open_connections += 1
         try:
             try:
-                request = await _read_request(reader)
+                if (
+                    max_connections is not None
+                    and open_connections > max_connections
+                ):
+                    raise HttpError(
+                        503,
+                        "server at its connection cap ({}); retry "
+                        "shortly".format(max_connections),
+                    )
+                try:
+                    if idle_timeout_s is not None:
+                        request = await asyncio.wait_for(
+                            _read_request(reader), timeout=idle_timeout_s,
+                        )
+                    else:
+                        request = await _read_request(reader)
+                except asyncio.TimeoutError:
+                    raise HttpError(
+                        408,
+                        "no complete request within {:.3g}s".format(
+                            idle_timeout_s
+                        ),
+                    )
                 if request is None:
                     return
                 handler, params = router.dispatch(request)
                 request.params = params
                 response = await handler(request)
             except HttpError as exc:
+                extra = ()
+                if exc.status == 503:
+                    extra = ("Retry-After: {}".format(RETRY_AFTER_S),)
                 await _write_json(
-                    writer, exc.status, {"error": exc.message},
+                    writer, exc.status, {"error": exc.message}, extra,
                 )
                 return
             except Exception as exc:  # handler bug: answer, don't die
@@ -236,6 +292,20 @@ def make_connection_handler(router):
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; nothing to answer
         finally:
+            open_connections -= 1
+            # Lingering close: when a reply was written *before* the
+            # request was fully read (load-shed 503, slowloris 408), a
+            # straight close() races the peer's in-flight bytes and
+            # turns into an RST that destroys the buffered response.
+            # Send FIN first, then briefly drain the peer so the close
+            # is graceful. The slot is already freed above, so a peer
+            # stalling here holds nothing that matters.
+            try:
+                if writer.can_write_eof():
+                    writer.write_eof()
+                await asyncio.wait_for(_drain_peer(reader), timeout=0.5)
+            except (asyncio.TimeoutError, OSError, RuntimeError):
+                pass
             try:
                 writer.close()
                 await writer.wait_closed()

@@ -130,15 +130,30 @@ class CampaignServer:
     watchdog / retries:
         Worker-liveness policy and per-cell retry budget, with the
         batch engine's semantics.
+    idle_timeout_s:
+        Per-connection read deadline in seconds; a client that opens
+        a socket and stalls gets 408 instead of pinning a connection
+        (None disables).
+    max_connections:
+        Load-shedding cap on concurrent connections; beyond it new
+        requests get an immediate 503 + ``Retry-After`` (None
+        disables).
     task:
         Injectable per-cell function for tests.
     """
 
     def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, pool_size=2,
                  cache=None, journal_root=None, watchdog=True, retries=1,
+                 idle_timeout_s=30.0, max_connections=128,
                  task=None, poll_s=_POLL_S):
         if retries < 0:
             raise ConfigError("retries must be >= 0")
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ConfigError("idle_timeout_s must be positive or None")
+        if max_connections is not None and max_connections < 1:
+            raise ConfigError("max_connections must be >= 1 or None")
+        self.idle_timeout_s = idle_timeout_s
+        self.max_connections = max_connections
         self.host = host
         self.port = port
         self.cache = ResultCache.coerce(cache if cache is not None else True)
@@ -601,7 +616,11 @@ class CampaignServer:
         self.recover()
         self.pool.start()
         server = await asyncio.start_server(
-            make_connection_handler(self._router()),
+            make_connection_handler(
+                self._router(),
+                idle_timeout_s=self.idle_timeout_s,
+                max_connections=self.max_connections,
+            ),
             host=self.host, port=self.port,
         )
         self.port = server.sockets[0].getsockname()[1]

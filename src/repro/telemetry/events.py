@@ -483,6 +483,31 @@ class WorkerLeft:
         ).inc()
 
 
+@dataclass(frozen=True)
+class StorageFault:
+    """A durable-storage operation failed and was degraded, not raised.
+
+    ``op`` names the failing seam (``journal-append``, ``checkpoint``,
+    ``payload-store``, ``cache-store``, ``corrupt-read``), ``path`` the
+    file (or cache key) involved, ``error`` the exception text. A
+    wall-clock (engine-level) event like :class:`CheckpointWritten`:
+    ``ts`` is 0 and ordering is stream position. A climbing
+    ``storage.faults`` counter is an operator's first sign a disk is
+    full or failing.
+    """
+
+    kind: ClassVar[str] = "storage.fault"
+
+    ts: int
+    op: str
+    path: str
+    error: str
+
+    def record(self, metrics):
+        metrics.counter("storage.faults").inc()
+        metrics.counter("storage.fault[{}]".format(self.op)).inc()
+
+
 #: Every event type, in a stable order (used by exporters and tests).
 EVENT_TYPES = (
     BarrierCheckIn,
@@ -508,4 +533,5 @@ EVENT_TYPES = (
     CellResolved,
     WorkerJoined,
     WorkerLeft,
+    StorageFault,
 )

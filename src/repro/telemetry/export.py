@@ -36,6 +36,7 @@ from repro.telemetry.events import (
     PredictorTrain,
     ResumeStarted,
     SleepExit,
+    StorageFault,
     WakeUp,
     WorkerJoined,
     WorkerLeft,
@@ -225,6 +226,11 @@ def chrome_trace_events(events, process_name="repro"):
                 "worker left:{}".format(event.reason), "serve", 0,
                 event.ts,
                 {"worker": event.worker, "pool_size": event.pool_size},
+            ))
+        elif isinstance(event, StorageFault):
+            rows.append(_instant(
+                "storage fault:{}".format(event.op), "storage", 0,
+                event.ts, {"path": event.path, "error": event.error},
             ))
         elif isinstance(event, PredictorHit):
             # Hits are dense and low-information on a timeline; they are

@@ -221,5 +221,7 @@ class TestPayloadStore:
         journal.store_payload("cell", ["good"])
         path = journal._payload_path("cell")
         path.write_bytes(b"\x00garbage")
-        assert journal.load_payload("cell", "fallback") == "fallback"
+        with pytest.warns(RuntimeWarning, match="corrupt payload"):
+            assert journal.load_payload("cell", "fallback") == "fallback"
+        assert journal.corrupt_reads == 1  # counted, not swallowed
         assert not path.exists()  # evicted, so a re-run can re-store

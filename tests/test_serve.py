@@ -680,3 +680,133 @@ class TestClientTransport:
         client = ServeClient(port=1, timeout=0.5)
         with pytest.raises(ServeError, match="cannot reach"):
             client.health()
+
+
+# -- hostile-peer hardening --------------------------------------------
+
+def _hardened_server(tmp_path, **kwargs):
+    """A live CampaignServer with hardening knobs; returns
+    ``(server, client, stop)`` — call ``stop()`` in a finally."""
+    server = CampaignServer(
+        port=0, pool_size=1,
+        cache=str(tmp_path / "cache"),
+        journal_root=str(tmp_path / "runs"),
+        **kwargs,
+    )
+    thread = threading.Thread(
+        target=lambda: server.run(banner=False), daemon=True,
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while server.port == 0 and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert server.port != 0, "server never started listening"
+    client = ServeClient(port=server.port, timeout=5.0)
+
+    def stop():
+        try:
+            client.shutdown()
+        except ServeError:
+            pass
+        thread.join(10.0)
+
+    return server, client, stop
+
+
+def _raw_exchange(port, payload, timeout=5.0):
+    """Send raw bytes, read until the server closes; returns the bytes."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    try:
+        if payload:
+            sock.sendall(payload)
+        received = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                return received
+            received += chunk
+    finally:
+        sock.close()
+
+
+class TestHostileClients:
+    def test_stalled_socket_gets_408_not_a_pinned_slot(self, tmp_path):
+        server, client, stop = _hardened_server(
+            tmp_path, idle_timeout_s=0.3,
+        )
+        try:
+            # The slowloris move: open a connection, send half a
+            # request head, and go quiet.
+            response = _raw_exchange(
+                server.port, b"GET / HTTP/1.1\r\nHost: x\r\n",
+            )
+            assert b"408" in response.split(b"\r\n", 1)[0]
+            assert b"no complete request" in response
+            # The server is fine afterwards; a real client still works.
+            assert client.health()["ok"]
+        finally:
+            stop()
+
+    def test_connection_cap_sheds_load_with_503(self, tmp_path):
+        server, client, stop = _hardened_server(
+            tmp_path, max_connections=1, idle_timeout_s=10.0,
+        )
+        try:
+            # Occupy the single slot with a connection that never
+            # completes its request.
+            hog = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0,
+            )
+            try:
+                hog.sendall(b"GET / HTTP/1.1\r\n")
+                time.sleep(0.2)  # let the server pick the handler up
+                response = _raw_exchange(
+                    server.port,
+                    b"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+                )
+                head = response.split(b"\r\n\r\n", 1)[0]
+                assert b"503" in head.split(b"\r\n", 1)[0]
+                assert b"Retry-After: 1" in head
+                assert b"connection cap" in response
+            finally:
+                hog.close()
+            time.sleep(0.2)  # slot frees once the hog is gone
+            assert client.health()["ok"]
+        finally:
+            stop()
+
+    def test_hardening_knobs_are_validated(self, tmp_path):
+        with pytest.raises(ConfigError, match="idle_timeout_s"):
+            CampaignServer(port=0, idle_timeout_s=0)
+        with pytest.raises(ConfigError, match="max_connections"):
+            CampaignServer(port=0, max_connections=0)
+
+
+class TestWaitBackoff:
+    def test_wait_backs_off_exponentially_with_jitter(self, monkeypatch):
+        client = ServeClient(port=1, timeout=0.1)
+        states = iter(["running"] * 6 + ["done"])
+        monkeypatch.setattr(client, "status", lambda run_id: {
+            "state": next(states), "completed": 0, "total": 1,
+        })
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda s: sleeps.append(s),
+        )
+        status = client.wait("r", timeout=600.0, poll_s=0.2, poll_cap_s=2.0)
+        assert status["state"] == "done"
+        # Six polls saw "running": delays double from the floor to the
+        # cap, each drawn from [delay/2, delay] by the seeded jitter.
+        expected = [0.2, 0.4, 0.8, 1.6, 2.0, 2.0]
+        assert len(sleeps) == len(expected)
+        for observed, delay in zip(sleeps, expected):
+            assert 0.5 * delay <= observed <= delay
+        assert len(set(sleeps)) > 1, "jitter must actually vary"
+
+    def test_wait_timeout_raises_with_progress(self, monkeypatch):
+        client = ServeClient(port=1, timeout=0.1)
+        monkeypatch.setattr(client, "status", lambda run_id: {
+            "state": "running", "completed": 3, "total": 10,
+        })
+        with pytest.raises(ServeError, match="3 of 10"):
+            client.wait("r", timeout=0.05, poll_s=0.01)
