@@ -1,0 +1,63 @@
+"""Systematic concurrency testing for the barrier/sleep protocols.
+
+The DES scheduler breaks same-timestamp ties with a fixed FIFO order;
+:mod:`repro.check` turns those tie-breaks into *choice points* and
+drives the simulator through alternative legal orderings of the same
+event set (CHESS-style bounded exploration), checking protocol oracles
+on every schedule:
+
+* the existing :class:`~repro.faults.invariants.InvariantChecker`
+  (monotonic time, barrier safety/liveness, energy conservation);
+* **no-lost-wakeup** — every thread that enters a sleep state at a
+  barrier episode is eventually woken in that episode;
+* **release-safety** — no thread observes a release before the last
+  arrival.
+
+A violation is shrunk (delta debugging on the decision string) to a
+minimal counterexample and exported as a replayable artifact: the
+decision string plus a Perfetto witness trace. ``repro check`` is the
+CLI front end; :mod:`repro.sync.mutants` ships intentionally broken
+barriers the explorer must catch.
+"""
+
+from repro.check.artifact import (
+    load_counterexample,
+    replay_counterexample,
+    witness_path,
+    write_counterexample,
+)
+from repro.check.explorer import ExplorationReport, explore
+from repro.check.harness import ScheduleResult, run_schedule
+from repro.check.oracles import (
+    NO_LOST_WAKEUP,
+    RELEASE_SAFETY,
+    check_no_lost_wakeup,
+    check_release_safety,
+)
+from repro.check.shrink import shrink_decisions
+from repro.check.tiebreak import (
+    FifoTieBreaker,
+    RandomTieBreaker,
+    ScheduleDriver,
+    TieBreaker,
+)
+
+__all__ = [
+    "ExplorationReport",
+    "FifoTieBreaker",
+    "NO_LOST_WAKEUP",
+    "RELEASE_SAFETY",
+    "RandomTieBreaker",
+    "ScheduleDriver",
+    "ScheduleResult",
+    "TieBreaker",
+    "check_no_lost_wakeup",
+    "check_release_safety",
+    "explore",
+    "load_counterexample",
+    "replay_counterexample",
+    "run_schedule",
+    "shrink_decisions",
+    "witness_path",
+    "write_counterexample",
+]

@@ -1,0 +1,112 @@
+"""Replayable counterexample artifacts.
+
+A caught violation is only worth anything if someone else can watch it
+happen. :func:`write_counterexample` serializes everything a replay
+needs — cell coordinates, mutant, fault plan, and the *minimized*
+decision string — as canonical JSON, alongside a Perfetto-loadable
+witness trace of the violating run. :func:`replay_counterexample`
+closes the loop: re-run the decisions from the artifact and confirm the
+same violations (invariant + message, exactly) fall out. ``repro check
+--replay FILE`` exits zero iff they do.
+"""
+
+import json
+import os
+
+from repro.check.harness import run_schedule
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+from repro.faults.storage import atomic_write_text
+from repro.telemetry.export import write_chrome_trace
+
+#: Artifact schema marker/version; bump on incompatible change.
+ARTIFACT_KIND = "repro-check-counterexample"
+ARTIFACT_VERSION = 1
+
+
+def _violation_dicts(violations):
+    return [violation.as_dict() for violation in violations]
+
+
+def witness_path(path):
+    """The Perfetto witness written beside an artifact at ``path``."""
+    return os.path.splitext(path)[0] + "-witness.json"
+
+
+def write_counterexample(path, result, decisions=None, mutant=None,
+                         fault_plan=None, shrink_trials=0):
+    """Write the artifact (and its witness trace); returns the payload.
+
+    ``result`` is the violating
+    :class:`~repro.check.harness.ScheduleResult`; ``decisions``
+    defaults to its realized decision string (pass the shrunk string
+    when one exists). The witness trace is the violating run's full
+    event stream, viewable in Perfetto/chrome://tracing.
+    """
+    if decisions is None:
+        decisions = result.decisions
+    payload = {
+        "kind": ARTIFACT_KIND,
+        "version": ARTIFACT_VERSION,
+        "app": result.app,
+        "config": result.config,
+        "threads": result.threads,
+        "seed": result.seed,
+        "mutant": mutant,
+        "fault_plan": fault_plan.as_dict() if fault_plan else None,
+        "decisions": list(decisions),
+        "shrink_trials": shrink_trials,
+        "violations": _violation_dicts(result.violations),
+        "violation_keys": [
+            [v.invariant, v.message] for v in result.violations
+        ],
+    }
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
+    write_chrome_trace(
+        result.events, witness_path(path),
+        process_name="check:{}:{}".format(result.app, result.config),
+    )
+    return payload
+
+
+def load_counterexample(path):
+    """Load and validate an artifact; returns the payload dict."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != ARTIFACT_KIND:
+        raise ConfigError(
+            "{} is not a {} artifact".format(path, ARTIFACT_KIND)
+        )
+    if payload.get("version") != ARTIFACT_VERSION:
+        raise ConfigError(
+            "{} has artifact version {!r}; this build reads {}".format(
+                path, payload.get("version"), ARTIFACT_VERSION
+            )
+        )
+    return payload
+
+
+def replay_counterexample(path):
+    """Re-run an artifact's schedule and compare the violations.
+
+    Returns ``(reproduced, result, expected_keys)``: ``reproduced`` is
+    True iff the replay's ``(invariant, message)`` list matches the
+    artifact's exactly — same bugs, same order, same words.
+    """
+    payload = load_counterexample(path)
+    plan = payload.get("fault_plan")
+    fault_plan = FaultPlan(**plan) if plan else None
+    result = run_schedule(
+        app=payload["app"],
+        config=payload["config"],
+        threads=payload["threads"],
+        seed=payload["seed"],
+        decisions=tuple(payload["decisions"]),
+        fault_plan=fault_plan,
+        mutant=payload.get("mutant"),
+    )
+    expected = [tuple(key) for key in payload.get("violation_keys", [])]
+    observed = [(v.invariant, v.message) for v in result.violations]
+    return observed == expected, result, expected

@@ -1,0 +1,158 @@
+"""Bounded systematic exploration of same-timestamp orderings.
+
+Two strategies over the :func:`~repro.check.harness.run_schedule`
+harness, both deterministic given their seed and budgets:
+
+**dfs** — CHESS-style bounded systematic search. Start from the
+default (FIFO) schedule; at every realized choice point up to
+``max_depth``, branch into each alternative choice, replaying the
+realized prefix and deviating at that point (FIFO tail beyond it).
+Branches are visited in deviation-count order — the default schedule,
+then every single deviation, then pairs — so a bug reachable by one
+flipped tie-break is found within ``sum(arity - 1)`` schedules no
+matter where in the prefix it hides. Visited schedules are
+deduplicated on the realized decision trace, so prefixes that collapse
+to an already-seen interleaving are not re-expanded. Exhaustive within
+its bounds — the right tool for shallow races.
+
+**random** — seeded random walks: each schedule draws every tie
+uniformly. No depth bound, so it reaches choice points arbitrarily
+deep in the run (release fan-outs sit hundreds of decisions in, far
+past any affordable DFS horizon) — the right tool for probing the
+long tail.
+
+Either way the walk stops at the first violating schedule (unless
+``stop_on_violation=False``), whose realized decision string is the raw
+counterexample handed to :func:`~repro.check.shrink.shrink_decisions`.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.check.harness import run_schedule
+from repro.check.tiebreak import RandomTieBreaker, schedule_key
+from repro.errors import ConfigError
+
+STRATEGIES = ("dfs", "random")
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one bounded exploration."""
+
+    app: str
+    config: str
+    threads: int
+    seed: int
+    strategy: str
+    max_schedules: int
+    max_depth: int
+    mutant: object = None
+    #: Schedules actually simulated (≤ ``max_schedules``).
+    schedules_run: int = 0
+    #: Distinct realized interleavings among them.
+    unique_schedules: int = 0
+    #: Violating :class:`~repro.check.harness.ScheduleResult` records.
+    failures: tuple = ()
+    #: True when the budget ran out with branches left unexplored.
+    exhausted_budget: bool = False
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    @property
+    def first_failure(self):
+        return self.failures[0] if self.failures else None
+
+
+def explore(
+    app, config, threads=8, seed=1, max_schedules=50, max_depth=32,
+    strategy="dfs", fault_plan=None, mutant=None, machine_config=None,
+    deadline_ns=None, stop_on_violation=True,
+):
+    """Explore up to ``max_schedules`` interleavings of one cell.
+
+    Deterministic: the same arguments visit the same schedules in the
+    same order and return an identical report. ``deadline_ns=None``
+    keeps the harness's default liveness deadline.
+    """
+    if strategy not in STRATEGIES:
+        raise ConfigError(
+            "unknown strategy {!r}; choose from {}".format(
+                strategy, ", ".join(STRATEGIES)
+            )
+        )
+    if max_schedules < 1:
+        raise ConfigError("max_schedules must be at least 1")
+    if max_depth < 1:
+        raise ConfigError("max_depth must be at least 1")
+
+    kwargs = dict(
+        app=app, config=config, threads=threads, seed=seed,
+        fault_plan=fault_plan, mutant=mutant,
+        machine_config=machine_config,
+    )
+    if deadline_ns is not None:
+        kwargs["deadline_ns"] = deadline_ns
+
+    report = ExplorationReport(
+        app=app, config=config, threads=threads, seed=seed,
+        strategy=strategy, max_schedules=max_schedules,
+        max_depth=max_depth, mutant=mutant,
+    )
+    visited = set()
+    failures = []
+
+    def audit(result):
+        report.schedules_run += 1
+        key = schedule_key(result.trace)
+        fresh = key not in visited
+        if fresh:
+            visited.add(key)
+            report.unique_schedules += 1
+            if result.violations:
+                failures.append(result)
+        return fresh
+
+    if strategy == "random":
+        for index in range(max_schedules):
+            chooser = RandomTieBreaker("{}:{}".format(seed, index))
+            result = run_schedule(tie_breaker=chooser, **kwargs)
+            audit(result)
+            if failures and stop_on_violation:
+                break
+    else:
+        # FIFO frontier of (forced decision prefix, first position not
+        # yet expanded), seeded with the default schedule. Each run
+        # enqueues one deviation per (position, alternative) it newly
+        # realized, so the walk broadens by deviation count: the
+        # default schedule first, then every single deviation within
+        # ``max_depth``, then pairs, and so on — the CHESS ordering,
+        # which finds shallow bugs before the budget drowns in deep
+        # branch combinations.
+        frontier = deque([((), 0)])
+        while frontier:
+            if report.schedules_run >= max_schedules:
+                report.exhausted_budget = True
+                break
+            decisions, start = frontier.popleft()
+            result = run_schedule(decisions=decisions, **kwargs)
+            if not audit(result):
+                continue
+            if failures and stop_on_violation:
+                break
+            horizon = min(len(result.decisions), max_depth)
+            for position in range(start, horizon):
+                arity = result.arities[position]
+                taken = result.decisions[position]
+                for choice in range(arity):
+                    if choice == taken:
+                        continue
+                    frontier.append((
+                        result.decisions[:position] + (choice,),
+                        position + 1,
+                    ))
+
+    report.failures = tuple(failures)
+    return report

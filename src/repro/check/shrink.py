@@ -1,0 +1,73 @@
+"""Delta-debug a failing decision string to a minimal counterexample.
+
+The explorer's raw counterexample is a realized decision trace —
+often hundreds of decisions, almost all of them the FIFO default that
+the :class:`~repro.check.tiebreak.ScheduleDriver` would pick anyway.
+Shrinking strips it to the deviations that matter:
+
+1. drop trailing zeros (the FIFO tail is the driver's fallback);
+2. binary-search the shortest failing prefix (decisions past the
+   fault are noise);
+3. zero surviving non-zero decisions one at a time, to a fixpoint.
+
+The predicate re-runs the schedule and asks only "does *some*
+violation survive?" — shrinking may legitimately land on a simpler
+failure of the same bug. Each candidate costs one simulation, so the
+trial budget is bounded and the best-so-far is returned when it runs
+out.
+"""
+
+
+def _strip_trailing_zeros(decisions):
+    end = len(decisions)
+    while end and decisions[end - 1] == 0:
+        end -= 1
+    return decisions[:end]
+
+
+def shrink_decisions(decisions, still_fails, max_trials=64):
+    """Minimize ``decisions`` while ``still_fails(candidate)`` holds.
+
+    ``still_fails`` takes a candidate decision tuple and returns
+    whether the replayed schedule still violates an oracle; it is
+    never called on the input itself (the caller just watched it
+    fail). Returns ``(minimized, trials_used)``.
+    """
+    best = _strip_trailing_zeros(tuple(int(d) for d in decisions))
+    trials = 0
+
+    def attempt(candidate):
+        nonlocal trials, best
+        candidate = _strip_trailing_zeros(tuple(candidate))
+        if candidate == best or trials >= max_trials:
+            return False
+        trials += 1
+        if still_fails(candidate):
+            best = candidate
+            return True
+        return False
+
+    # Shortest failing prefix, by binary search: if the first half
+    # still fails, the fault is within it.
+    low, high = 0, len(best)
+    while low < high and trials < max_trials:
+        mid = (low + high) // 2
+        if attempt(best[:mid]):
+            high = len(best)
+        else:
+            low = mid + 1
+
+    # Zero out surviving deviations, one at a time, to a fixpoint.
+    changed = True
+    while changed and trials < max_trials:
+        changed = False
+        for position in range(len(best)):
+            if best[position] == 0:
+                continue
+            candidate = list(best)
+            candidate[position] = 0
+            if attempt(candidate):
+                changed = True
+                break
+
+    return best, trials

@@ -20,6 +20,17 @@ and prints its summary; ``--trace`` writes a Perfetto-loadable Chrome
 trace, ``--metrics-csv`` a CSV metric dump. ``trace`` prints the
 human-readable timeline digest; ``metrics`` the full metrics tables.
 
+Model checking::
+
+    repro check --schedules 64 --depth 24     # all five configs
+    repro check --mutant racy-check-in        # must be caught
+    repro check --replay counterexample.json  # reproduce a finding
+
+``check`` drives the simulator through bounded alternative orderings
+of same-timestamp events and audits every schedule with the protocol
+oracles; a violation is shrunk to a minimal decision string and
+exported as a replayable artifact plus a Perfetto witness trace.
+
 Crash safety::
 
     repro figure5 --run-id nightly            # journaled sweep
@@ -37,9 +48,11 @@ Exit codes
 ----------
 
 * ``0`` (:data:`EXIT_OK`) — clean completion (chaos: no invariant
-  violations);
+  violations; check: every explored schedule clean, or a replay
+  reproduced its artifact exactly);
 * ``1`` (:data:`EXIT_VIOLATION`) — the campaign finished but found
-  violations / failures;
+  violations / failures (check: a counterexample was found, or a
+  replay did not reproduce);
 * ``2`` (:data:`EXIT_USAGE`) — bad invocation (unknown configuration,
   argparse errors);
 * ``3`` (:data:`EXIT_RESUMABLE`) — gracefully preempted; everything
@@ -74,6 +87,9 @@ _CELL_COMMANDS = ("run", "trace", "metrics")
 #: Robustness commands.
 _CHAOS_COMMANDS = ("chaos",)
 
+#: Model-checking commands: bounded schedule exploration and replay.
+_CHECK_COMMANDS = ("check",)
+
 #: Campaign-service commands: the server plus its client verbs.
 _SERVE_COMMANDS = ("serve", "submit", "status", "results", "cancel",
                    "shutdown")
@@ -96,10 +112,13 @@ def build_parser():
     parser.add_argument(
         "artifact",
         choices=(_ARTIFACTS + _CELL_COMMANDS + _CHAOS_COMMANDS
-                 + _SERVE_COMMANDS + _CACHE_COMMANDS + _FSCK_COMMANDS),
+                 + _CHECK_COMMANDS + _SERVE_COMMANDS + _CACHE_COMMANDS
+                 + _FSCK_COMMANDS),
         help="which artifact to regenerate, a telemetry command "
              "(run / trace / metrics) on one experiment cell, "
              "'chaos' to run a seeded fault-injection campaign, "
+             "'check' to model-check barrier/sleep protocols over "
+             "alternative event orderings, "
              "a campaign-service command (serve / submit / status / "
              "results / cancel / shutdown), 'cache' maintenance, or "
              "'fsck' to audit/repair journal and cache trees",
@@ -134,8 +153,10 @@ def build_parser():
         ),
     )
     parser.add_argument(
-        "--threads", type=int, default=64,
-        help="thread/processor count (default 64, as in the paper)",
+        "--threads", type=int, default=None,
+        help="thread/processor count (default 64, as in the paper; "
+             "check defaults to 8 — exploration budgets scale with "
+             "the choice-point count)",
     )
     parser.add_argument(
         "--seed", type=int, default=DEFAULT_SEED,
@@ -144,7 +165,8 @@ def build_parser():
     parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="also write the run matrix as JSON (figure5/figure6/"
-             "headline/all only)",
+             "headline/all), or the chaos campaign report with "
+             "violation event windows (chaos)",
     )
     parser.add_argument(
         "--csv", metavar="PATH", default=None,
@@ -180,7 +202,51 @@ def build_parser():
     )
     parser.add_argument(
         "--configs", nargs="*", default=None, metavar="CFG",
-        help="configurations for the chaos campaign (default: all five)",
+        help="configurations for the chaos campaign or check sweep "
+             "(default: all five)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="chaos: stop the campaign at the first violating cell "
+             "instead of sweeping every planned cell",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=64, metavar="N",
+        help="check: schedule budget per explored cell (default 64)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=24, metavar="N",
+        help="check: deepest choice point the dfs strategy deviates at "
+             "(default 24; random walks are unbounded)",
+    )
+    parser.add_argument(
+        "--strategy", choices=("dfs", "random"), default="dfs",
+        help="check: exploration strategy — 'dfs' for CHESS-style "
+             "bounded systematic search, 'random' for seeded random "
+             "walks (default dfs)",
+    )
+    parser.add_argument(
+        "--mutant", metavar="NAME", default=None,
+        help="check: explore a deliberately broken barrier variant "
+             "from repro.sync.mutants instead of the correct one "
+             "(its registered cell supplies the defaults)",
+    )
+    parser.add_argument(
+        "--plan-seed", type=int, default=None, metavar="N",
+        help="check: compose a sampled FaultPlan (seeded with N, "
+             "scaled by --intensity) with the exploration",
+    )
+    parser.add_argument(
+        "--counterexample", metavar="PATH", default="counterexample.json",
+        help="check: where to write the minimized replayable "
+             "counterexample when a violation is found "
+             "(default counterexample.json; a Perfetto witness trace "
+             "is written beside it)",
+    )
+    parser.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="check: replay a counterexample artifact and exit 0 iff "
+             "the recorded violations reproduce exactly",
     )
     parser.add_argument(
         "--run-id", metavar="ID", default=None,
@@ -356,8 +422,11 @@ def _run_chaos_command(args):
     SIGTERM/SIGINT reports the partial campaign instead of discarding
     it and exits :data:`EXIT_RESUMABLE`.
     """
+    import json
+
     from repro import __version__
     from repro.faults.chaos import (
+        chaos_report_as_dict,
         render_chaos_report,
         run_chaos_campaign,
         sample_plans,
@@ -381,8 +450,18 @@ def _run_chaos_command(args):
             plans, apps=apps, configs=configs,
             threads=args.threads, seed=args.seed,
             journal=journal, preemption=guard,
+            fail_fast=args.fail_fast,
         )
     _emit(render_chaos_report(campaign))
+    if args.json:
+        from repro.faults.storage import atomic_write_text
+
+        atomic_write_text(
+            args.json,
+            json.dumps(chaos_report_as_dict(campaign), indent=2,
+                       sort_keys=True) + "\n",
+        )
+        print("chaos report written to {}".format(args.json))
     if campaign.interrupted:
         if campaign.run_id:
             print("resume with: repro chaos {}".format(
@@ -398,6 +477,132 @@ def _run_chaos_command(args):
 def _usage(message):
     print(message, file=sys.stderr)
     return EXIT_USAGE
+
+
+def _run_check_command(args):
+    """``repro check``: model-check the protocol over tie-break orders.
+
+    Explores bounded alternative same-timestamp event orderings of
+    each requested configuration (default: all five paper configs) and
+    audits every schedule with the full oracle set. The first
+    violation is shrunk to a minimal decision string and exported as a
+    replayable artifact (``--counterexample``) plus a Perfetto witness
+    trace; ``--replay FILE`` re-runs an artifact and exits 0 iff the
+    recorded violations reproduce exactly. ``--mutant NAME`` swaps in
+    a deliberately broken barrier — the detector's self-test.
+    Everything is deterministic given ``--seed``.
+    """
+    from repro.check import (
+        explore,
+        replay_counterexample,
+        run_schedule,
+        shrink_decisions,
+        witness_path,
+        write_counterexample,
+    )
+    from repro.errors import ConfigError
+    from repro.experiments.configs import CONFIG_NAMES
+
+    if args.replay:
+        try:
+            reproduced, result, expected = replay_counterexample(args.replay)
+        except (ConfigError, OSError, ValueError) as exc:
+            return _usage("cannot replay {}: {}".format(args.replay, exc))
+        print("replay {}: {} recorded violation(s), {} observed".format(
+            args.replay, len(expected), len(result.violations)
+        ))
+        for violation in result.violations:
+            print("  " + violation.describe())
+        print("REPRODUCED" if reproduced else
+              "NOT REPRODUCED (violations differ from the artifact)")
+        return EXIT_OK if reproduced else EXIT_VIOLATION
+
+    fault_plan = None
+    if args.plan_seed is not None:
+        from repro.faults.plan import FaultPlan
+
+        fault_plan = FaultPlan.sample(
+            args.plan_seed, intensity=args.intensity
+        )
+
+    if args.mutant:
+        from repro.sync.mutants import mutant_spec
+
+        try:
+            spec = mutant_spec(args.mutant)
+        except ConfigError as exc:
+            return _usage(str(exc))
+        app, configs = spec.app, (spec.base_config,)
+    else:
+        app = args.app
+        configs = tuple(args.configs or CONFIG_NAMES)
+        unknown = [c for c in configs if c not in CONFIG_NAMES]
+        if unknown:
+            return _usage(
+                "unknown configuration(s) {}; choose from {}".format(
+                    ", ".join(map(repr, unknown)), ", ".join(CONFIG_NAMES)
+                )
+            )
+
+    for config in configs:
+        try:
+            exploration = explore(
+                app, config, threads=args.threads, seed=args.seed,
+                max_schedules=args.schedules, max_depth=args.depth,
+                strategy=args.strategy, fault_plan=fault_plan,
+                mutant=args.mutant,
+            )
+        except ConfigError as exc:
+            return _usage(str(exc))
+        print("check {}/{}/{}t seed {} [{}]: {} schedule(s), "
+              "{} unique{}{}".format(
+                  app, config, args.threads, args.seed, args.strategy,
+                  exploration.schedules_run, exploration.unique_schedules,
+                  " (budget exhausted)" if exploration.exhausted_budget
+                  else "",
+                  " — clean" if exploration.ok else "",
+              ))
+        if exploration.ok:
+            continue
+
+        # A schedule violated an oracle: shrink its decision string to
+        # the deviations that matter, re-run the minimal schedule, and
+        # export it as a replayable artifact.
+        failure = exploration.first_failure
+        for violation in failure.violations:
+            print("  " + violation.describe())
+
+        def still_fails(candidate):
+            return not run_schedule(
+                app, config, threads=args.threads, seed=args.seed,
+                decisions=candidate, fault_plan=fault_plan,
+                mutant=args.mutant,
+            ).ok
+
+        minimized, trials = shrink_decisions(
+            failure.decisions, still_fails
+        )
+        minimal = run_schedule(
+            app, config, threads=args.threads, seed=args.seed,
+            decisions=minimized, fault_plan=fault_plan,
+            mutant=args.mutant,
+        )
+        write_counterexample(
+            args.counterexample, minimal, decisions=minimized,
+            mutant=args.mutant, fault_plan=fault_plan,
+            shrink_trials=trials,
+        )
+        print("shrunk {} -> {} decision(s) in {} trial(s)".format(
+            len(failure.decisions), len(minimized), trials
+        ))
+        print("counterexample written to {} (witness trace: {})".format(
+            args.counterexample, witness_path(args.counterexample)
+        ))
+        print("replay with: repro check --replay {}".format(
+            args.counterexample
+        ))
+        return EXIT_VIOLATION
+    return EXIT_OK
 
 
 def _run_serve_command(args):
@@ -557,6 +762,10 @@ def _run_cache_command(args):
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.threads is None:
+        # check explores interleavings — budgets scale with the number
+        # of choice points, so its default cell is small.
+        args.threads = 8 if args.artifact in _CHECK_COMMANDS else 64
     # A seeded storage fault plan in $REPRO_STORAGE_FAULTS applies to
     # any command — this is how CI runs a *subprocess* campaign under
     # injected ENOSPC/torn-write faults.
@@ -573,6 +782,8 @@ def main(argv=None):
         return _run_cell_command(args)
     if args.artifact in _CHAOS_COMMANDS:
         return _run_chaos_command(args)
+    if args.artifact in _CHECK_COMMANDS:
+        return _run_check_command(args)
     from repro.telemetry.metrics import MetricsRegistry
 
     needs_matrix = args.artifact in ("figure5", "figure6", "headline", "all")

@@ -107,7 +107,8 @@ class ChaosCampaignReport:
     (never discarded), ``planned`` what a full run would contain, and
     ``run_id`` (when journaled) what to pass to ``--resume``.
     ``resumed_cells`` counts cells restored from the journal's payload
-    store instead of re-simulated.
+    store instead of re-simulated. ``stopped_early`` marks a
+    ``fail_fast`` campaign that stopped at its first violating cell.
     """
 
     cells: list = field(default_factory=list)
@@ -116,6 +117,7 @@ class ChaosCampaignReport:
     interrupted: bool = False
     run_id: str = ""
     resumed_cells: int = 0
+    stopped_early: bool = False
 
     @property
     def violations(self):
@@ -212,6 +214,7 @@ def run_chaos_campaign(
     plans, apps=DEFAULT_APPS, configs=CONFIG_NAMES, threads=16,
     seed=DEFAULT_SEED, machine_config=None,
     deadline_ns=DEFAULT_DEADLINE_NS, journal=None, preemption=None,
+    fail_fast=False,
 ):
     """Sweep plans × apps × configs; returns a
     :class:`ChaosCampaignReport`. Clean reference runs are shared per
@@ -227,6 +230,10 @@ def run_chaos_campaign(
     raw ``KeyboardInterrupt`` mid-cell — ends the campaign gracefully:
     the partial report is *returned*, never discarded, flagged
     ``interrupted`` so the CLI can exit with the resumable status.
+
+    ``fail_fast`` stops the sweep at the first violating cell (restored
+    or freshly run) and flags the report ``stopped_early`` — the
+    violating cell is the last in :attr:`~ChaosCampaignReport.cells`.
     """
     configs = tuple(configs)
     unknown = [c for c in configs if c not in CONFIG_NAMES]
@@ -290,6 +297,9 @@ def run_chaos_campaign(
                         if restored is not None:
                             report.cells.append(restored)
                             report.resumed_cells += 1
+                            if fail_fast and restored.violations:
+                                report.stopped_early = True
+                                return report
                             continue
                     if journal is not None:
                         journal.record_dispatched(cell_id)
@@ -303,6 +313,9 @@ def run_chaos_campaign(
                         journal.store_payload(cell_id, cell)
                         journal.record_completed(cell_id)
                     report.cells.append(cell)
+                    if fail_fast and cell.violations:
+                        report.stopped_early = True
+                        return report
     except KeyboardInterrupt:
         # A raw Ctrl-C mid-simulation (no guard installed, or the
         # operator pressed it twice): still report what finished.
@@ -311,6 +324,47 @@ def run_chaos_campaign(
     if journal is not None:
         journal.record_finished(completed=len(report.cells), failed=0)
     return report
+
+
+def chaos_report_as_dict(report):
+    """JSON-friendly form of a campaign report (``repro chaos --json``).
+
+    Every violation is embedded via
+    :meth:`~repro.faults.invariants.InvariantViolation.as_dict`, so the
+    report carries the offending event window — first/last stream index
+    plus timestamps — pointing straight into the cell's trace export.
+    """
+    return {
+        "kind": "chaos-campaign",
+        "deadline_ns": report.deadline_ns,
+        "planned": report.planned,
+        "interrupted": report.interrupted,
+        "stopped_early": report.stopped_early,
+        "run_id": report.run_id,
+        "resumed_cells": report.resumed_cells,
+        "ok": report.ok,
+        "total_injected": report.total_injected,
+        "total_late_wakes": report.total_late_wakes,
+        "cells": [
+            {
+                "app": cell.app,
+                "config": cell.config,
+                "plan": cell.plan.as_dict(),
+                "threads": cell.threads,
+                "injected": dict(cell.injected),
+                "late_wakes": cell.late_wakes,
+                "releases": cell.releases,
+                "execution_time_ns": cell.execution_time_ns,
+                "energy_joules": cell.energy_joules,
+                "energy_delta": cell.energy_delta,
+                "time_delta_ns": cell.time_delta_ns,
+                "violations": [
+                    violation.as_dict() for violation in cell.violations
+                ],
+            }
+            for cell in report.cells
+        ],
+    }
 
 
 def render_chaos_report(report):
@@ -359,6 +413,13 @@ def render_chaos_report(report):
         lines.append(
             "{} cell(s) restored from the run journal (not re-run)".format(
                 report.resumed_cells
+            )
+        )
+    if report.stopped_early:
+        lines.append(
+            "STOPPED EARLY (--fail-fast): {} of {} planned cell(s) ran "
+            "before the first violation".format(
+                len(report.cells), report.planned
             )
         )
     if report.interrupted:

@@ -25,7 +25,7 @@ the offending event window, and :meth:`InvariantChecker.assert_ok`
 raises them as one :class:`InvariantError`.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ReproError
 from repro.telemetry.events import (
@@ -54,11 +54,20 @@ _WINDOW_LIMIT = 16
 
 @dataclass(frozen=True)
 class InvariantViolation:
-    """One broken invariant, with the events that witnessed it."""
+    """One broken invariant, with the events that witnessed it.
+
+    ``first_index``/``last_index`` locate the witness window in the
+    telemetry stream the check ran over (0-based stream positions of
+    the window's earliest and latest event), so a JSON report points
+    straight at the offending slice of the exported trace. They are
+    ``None`` for violations built outside a stream context.
+    """
 
     invariant: str
     message: str
     window: tuple = ()
+    first_index: object = None
+    last_index: object = None
 
     def describe(self):
         text = "[{}] {}".format(self.invariant, self.message)
@@ -67,6 +76,47 @@ class InvariantViolation:
                 len(self.window), self.window[0].ts, self.window[-1].ts
             )
         return text
+
+    def as_dict(self):
+        """JSON-friendly form: message plus the actionable window
+        (stream indices and timestamps), never raw event objects."""
+        window = tuple(self.window)
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "window_events": len(window),
+            "window_first_index": getattr(self, "first_index", None),
+            "window_last_index": getattr(self, "last_index", None),
+            "window_first_ts": window[0].ts if window else None,
+            "window_last_ts": window[-1].ts if window else None,
+        }
+
+
+def annotate_window_indices(violations, events):
+    """Stamp each violation's window with stream positions.
+
+    ``events`` is the stream the violations were found in; each
+    violation's ``first_index``/``last_index`` become the positions of
+    its window's earliest/latest event in that stream. Window events
+    not present in the stream (defensive) are skipped. Returns new
+    (frozen) records; violations without windows pass through
+    untouched.
+    """
+    positions = {id(event): index for index, event in enumerate(events)}
+    annotated = []
+    for violation in violations:
+        indices = sorted(
+            positions[id(event)]
+            for event in violation.window
+            if id(event) in positions
+        )
+        if not indices:
+            annotated.append(violation)
+            continue
+        annotated.append(replace(
+            violation, first_index=indices[0], last_index=indices[-1],
+        ))
+    return annotated
 
 
 class InvariantError(ReproError):
@@ -262,7 +312,7 @@ class InvariantChecker:
         violations.extend(liveness)
         if accounts is not None:
             violations.extend(self._check_energy(events, accounts))
-        return violations
+        return annotate_window_indices(violations, events)
 
     def audit(self, events, accounts=None, tracer=None):
         """Like :meth:`check`, additionally emitting one

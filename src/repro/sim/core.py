@@ -147,6 +147,14 @@ class Simulator:
         #: transitions) consult it with one ``is None`` check; when no
         #: plan is installed they behave exactly as before.
         self.fault_injector = None
+        #: Optional tie-break strategy (see :mod:`repro.check.tiebreak`)
+        #: consulted whenever a bucket holds two or more live entries:
+        #: ``tie_breaker.choose(time, candidates)`` returns the index of
+        #: the entry to dispatch next. ``None`` (the default) keeps the
+        #: legacy FIFO ``(time, seq)`` order through the unchanged fast
+        #: lanes — bit-for-bit, as the golden-trace corpus requires. The
+        #: flag is checked once per :meth:`run` call, never per event.
+        self.tie_breaker = None
 
     @property
     def now(self):
@@ -313,6 +321,8 @@ class Simulator:
             raise SchedulingError("run() called re-entrantly")
         if until is not None:
             until = operator.index(until)
+        if self.tie_breaker is not None:
+            return self._run_choice(until, max_events)
         self._running = True
         executed = 0
         # Local aliases keep the dispatch loop free of repeated
@@ -521,6 +531,108 @@ class Simulator:
                 pop_time(times)
                 self._head_time = None
                 self._head_index = 0
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self.executed += executed
+            self._running = False
+
+    def _run_choice(self, until, max_events):
+        """Dispatch loop for choice mode (:attr:`tie_breaker` installed).
+
+        Semantically equivalent to the default lanes — driven by the
+        FIFO strategy it reproduces the legacy ``(time, seq)`` order
+        exactly (``tests/test_scheduler_properties.py`` holds it to
+        that) — but every bucket holding two or more live entries asks
+        the installed strategy which one dispatches next. Only
+        same-timestamp ties are permutable: choosing never moves an
+        event in time, so every explored schedule is a legal ordering
+        of the same event set. Same-timestamp children scheduled by the
+        executing callback land in the open bucket and join the next
+        round's candidate set.
+
+        Cancelled entries are filtered (and counted, and reported to a
+        cancelled-aware trace hook) eagerly each time the bucket is
+        inspected. Cancellation is one-way, so this is observationally
+        equivalent to the default lanes' dequeue-time accounting: the
+        final counters match; only the interleaving of skip accounting
+        with execution differs mid-bucket.
+        """
+        if self._running:
+            raise SchedulingError("run() called re-entrantly")
+        self._running = True
+        chooser = self.tie_breaker
+        buckets = self._buckets
+        times = self._times
+        trace = self._trace
+        trace_cancelled = self._trace_cancelled
+        executed = 0
+        try:
+            while times:
+                time = times[0]
+                bucket = buckets[time]
+                if bucket.__class__ is not list:
+                    # Promote singletons: children scheduled at this
+                    # time while the entry runs must join the bucket.
+                    bucket = [bucket]
+                    buckets[time] = bucket
+                if time != self._head_time:
+                    self._head_time = time
+                    self._head_index = 0
+                if self._head_index:
+                    # Entries before the cursor were already consumed
+                    # by the default lanes (mode switched mid-bucket).
+                    del bucket[: self._head_index]
+                    self._head_index = 0
+                # Filter cancelled entries, preserving schedule order
+                # among the survivors (the candidate list the strategy
+                # sees is indexed in legacy FIFO order).
+                live = 0
+                for entry in bucket:
+                    if entry.__class__ is Handle and entry.cancelled:
+                        self.skipped_cancelled += 1
+                        if trace_cancelled:
+                            trace(
+                                time, entry.fn, entry.args,
+                                cancelled=True,
+                            )
+                    else:
+                        bucket[live] = entry
+                        live += 1
+                del bucket[live:]
+                if not live:
+                    del buckets[time]
+                    heapq.heappop(times)
+                    self._head_time = None
+                    continue
+                if until is not None and time > until:
+                    if until > self._now:
+                        self._now = until
+                    return
+                if live == 1:
+                    choice = 0
+                else:
+                    choice = chooser.choose(time, tuple(bucket))
+                    if not 0 <= choice < live:
+                        raise SchedulingError(
+                            "tie breaker chose index {} of {} "
+                            "candidates at t={}".format(choice, live, time)
+                        )
+                entry = bucket.pop(choice)
+                self._now = time
+                if entry.__class__ is Handle:
+                    if trace is not None:
+                        trace(time, entry.fn, entry.args)
+                    entry.fn(*entry.args)
+                else:
+                    if trace is not None:
+                        trace(time, entry, _FAST_ARGS)
+                    entry(None, None)
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SchedulingError(
+                        "exceeded max_events={}".format(max_events)
+                    )
             if until is not None and until > self._now:
                 self._now = until
         finally:

@@ -21,6 +21,15 @@ when the timeout must be cancellable or raced in a combinator
 
 A :class:`Process` is itself an event: it succeeds with the generator's
 return value, so processes can wait on each other (``yield other_process``).
+
+The pinned resume callbacks are also what the model checker permutes:
+when two processes are due at the same timestamp, their queued resume
+methods share a calendar-queue bucket, and ``repro check`` treats that
+bucket as a choice point (see :meth:`Simulator._run_choice`). The
+:attr:`Process.name` attribute is how a candidate is labelled in
+witness output — ``repro.check.tiebreak.describe_entry`` renders a
+bound resume method as ``resume:<name>`` — so give long-lived
+processes stable, meaningful names.
 """
 
 from heapq import heappush

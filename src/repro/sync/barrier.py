@@ -66,6 +66,15 @@ class BarrierBase:
         self._local_sense[thread_id] = sense
         return sense
 
+    def _arrival_target(self):
+        """Arrival count that releases the barrier.
+
+        A seam for the intentionally broken variants in
+        :mod:`repro.sync.mutants`; correct barriers release on the
+        full participant count.
+        """
+        return self.n_threads
+
     def _check_in(self, node, thread_id=None):
         """Check in: ``count++`` (S1 in Figure 2).
 
@@ -90,7 +99,7 @@ class BarrierBase:
             node.node_id, self.count_addr, lambda v: v + 1
         )
         cpu.charge_spin(self.sim._now - started)
-        is_last = (count + 1) == self.n_threads
+        is_last = (count + 1) == self._arrival_target()
         if is_last:
             started = self.sim._now
             yield from self.memsys.store(node.node_id, self.count_addr, 0)

@@ -18,9 +18,21 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["table3"])
-        assert args.threads == 64
+        # --threads defaults per command (64 for experiments, 8 for
+        # check); the parser leaves it None and main() resolves it.
+        assert args.threads is None
         assert args.apps is None
         assert not args.chart
+
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.schedules == 64
+        assert args.depth == 24
+        assert args.strategy == "dfs"
+        assert args.mutant is None
+        assert args.replay is None
+        assert args.counterexample == "counterexample.json"
+        assert not args.fail_fast
 
     def test_cell_command_defaults(self):
         args = build_parser().parse_args(["run"])

@@ -230,6 +230,52 @@ class TestFsckTree:
         assert report.ok  # the damage lives in the *other* run
 
 
+class TestRepairIdempotency:
+    """Repair converges in one pass: a second ``--repair`` of the same
+    tree finds nothing and rewrites nothing — byte-for-byte."""
+
+    @staticmethod
+    def _snapshot(root):
+        return {
+            str(path.relative_to(root)): path.read_bytes()
+            for path in sorted(root.rglob("*"))
+            if path.is_file()
+        }
+
+    def _damage_everything(self, tmp_path):
+        """One tree with every repairable damage class at once."""
+        journal = _make_run(tmp_path / "runs")
+        with open(journal.run_dir / "journal.jsonl", "ab") as fh:
+            fh.write(b'{"record": "completed", "cel')  # torn tail
+        (journal.run_dir / "checkpoint.json").write_text('{"completed": ')
+        journal._payload_path("a").write_bytes(b"\x80\x04 not a pickle")
+        (journal.run_dir / "results" / "tmpabc.tmp").write_bytes(b"half")
+        (journal.run_dir / "results" / "notes.txt").write_text("stray")
+        return journal
+
+    def test_second_repair_is_a_byte_level_noop(self, tmp_path):
+        self._damage_everything(tmp_path)
+
+        first = fsck_tree(journal_root=tmp_path / "runs", repair=True)
+        assert first.ok
+        assert first.issues and all(f.repaired for f in first.issues)
+        frozen = self._snapshot(tmp_path / "runs")
+
+        second = fsck_tree(journal_root=tmp_path / "runs", repair=True)
+        assert second.ok
+        assert second.issues == []
+        assert self._snapshot(tmp_path / "runs") == frozen
+
+    def test_second_cli_repair_is_a_byte_level_noop(self, tmp_path):
+        self._damage_everything(tmp_path)
+        argv = ["fsck", "--repair", "--journal-dir",
+                str(tmp_path / "runs"), "--no-cache"]
+        assert main(argv) == 0
+        frozen = self._snapshot(tmp_path / "runs")
+        assert main(argv) == 0
+        assert self._snapshot(tmp_path / "runs") == frozen
+
+
 class TestFsckCli:
     def _damaged_tree(self, tmp_path):
         journal = _make_run(tmp_path / "runs")

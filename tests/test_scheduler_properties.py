@@ -242,6 +242,54 @@ def test_traced_drain_matches_reference_heap(seed):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_fifo_tie_breaker_choice_lane_matches_reference_heap(seed):
+    """The choice lane under the default FIFO strategy IS the legacy
+    order.
+
+    Installing a tie-breaker routes dispatch through
+    ``Simulator._run_choice`` — every multi-entry bucket becomes a
+    choice point. With :class:`~repro.check.tiebreak.FifoTieBreaker`
+    (always pick candidate 0) the realized schedule must reproduce the
+    legacy ``(time, seq)`` heap order exactly, log and counters alike:
+    that equivalence is what keeps the golden-trace corpus valid while
+    ``repro check`` explores deviations from it.
+    """
+    from repro.check.tiebreak import FifoTieBreaker
+
+    ref_log, reference = reference_outcome(seed)
+    roots, actions, precancelled = build_plan(seed)
+    sim = Simulator()
+    sim.tie_breaker = FifoTieBreaker()
+    log = replay(sim, roots, actions, precancelled)
+    sim.run()
+    assert log == ref_log
+    assert sim.executed == reference.executed == len(log)
+    assert sim.skipped_cancelled == reference.skipped_cancelled
+    assert sim.pending == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_empty_schedule_driver_matches_reference_heap(seed):
+    """A :class:`~repro.check.tiebreak.ScheduleDriver` with no forced
+    decisions falls back to FIFO at every choice point — the empty
+    decision string names the default schedule."""
+    from repro.check.tiebreak import ScheduleDriver
+
+    ref_log, reference = reference_outcome(seed)
+    roots, actions, precancelled = build_plan(seed)
+    sim = Simulator()
+    sim.tie_breaker = ScheduleDriver(())
+    log = replay(sim, roots, actions, precancelled)
+    sim.run()
+    assert log == ref_log
+    assert sim.executed == reference.executed
+    assert sim.skipped_cancelled == reference.skipped_cancelled
+    # Every consulted choice point recorded the FIFO pick.
+    assert all(d == 0 for d in sim.tie_breaker.decisions)
+    assert all(a >= 2 for a in sim.tie_breaker.arities)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_pending_counts_live_entries_only(seed):
     roots, actions, precancelled = build_plan(seed)
     sim = Simulator()
